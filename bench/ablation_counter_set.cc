@@ -1,0 +1,86 @@
+/// \file ablation_counter_set.cc
+/// Ablation for DESIGN.md decision #5: which counters the Equation 10
+/// objective uses. All four (paper), branch counters only, or
+/// branches-not-taken alone. BNT alone is under-determined for >= 2
+/// predicates (many selectivity splits share one BNT total), which shows
+/// up as large worst-case errors.
+
+#include "bench_util.h"
+#include "optimizer/estimator.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+namespace {
+
+CounterSample PerfectSample(const ScanShape& shape,
+                            const std::vector<double>& truth) {
+  CounterSample s;
+  s.tuples_in = shape.num_tuples;
+  double out = shape.num_tuples;
+  for (double p : truth) out *= p;
+  s.tuples_out = out;
+  s.counters = PredictCounters(shape, truth);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  ScanShape shape;
+  shape.num_tuples = 1e6;
+  shape.predicate_widths = {4, 4, 4};
+  shape.predictor = PredictorConfig::Symmetric(6);
+
+  const std::vector<std::vector<double>> truths = {
+      {0.9, 0.5, 0.1}, {0.1, 0.9, 0.5}, {0.7, 0.2, 0.4},
+      {0.25, 0.75, 0.5}, {0.6, 0.6, 0.6}, {0.05, 0.5, 0.95},
+  };
+  struct Variant {
+    std::string name;
+    CounterSet set;
+  };
+  const std::vector<Variant> variants = {
+      {"all four counters (paper)", CounterSet::kAll},
+      {"branch counters only", CounterSet::kBranchesOnly},
+      {"BNT only", CounterSet::kBntOnly},
+  };
+
+  TablePrinter table("Ablation: counter sets in the estimation objective");
+  table.SetHeader({"counter set", "mean |err|", "worst |err|",
+                   "rank correct (of 6)"});
+  for (const Variant& variant : variants) {
+    EstimatorConfig cfg;
+    cfg.counter_set = variant.set;
+    double total_err = 0, worst_err = 0;
+    size_t terms = 0, rank_ok = 0;
+    for (const auto& truth : truths) {
+      const CounterSample s = PerfectSample(shape, truth);
+      auto est = EstimateSelectivities(shape, s, cfg);
+      NIPO_CHECK(est.ok());
+      const auto& got = est.ValueOrDie().selectivities;
+      bool order_ok = true;
+      for (size_t i = 0; i < truth.size(); ++i) {
+        const double err = std::abs(got[i] - truth[i]);
+        total_err += err;
+        worst_err = std::max(worst_err, err);
+        ++terms;
+        for (size_t j = i + 1; j < truth.size(); ++j) {
+          if ((truth[i] < truth[j]) != (got[i] < got[j])) order_ok = false;
+        }
+      }
+      if (order_ok) ++rank_ok;
+    }
+    table.AddRow({variant.name,
+                  FormatDouble(total_err / static_cast<double>(terms), 4),
+                  FormatDouble(worst_err, 4),
+                  std::to_string(rank_ok)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Expected: all four counters give the tightest estimates; the\n"
+         "misprediction splits carry most of the identification power;\n"
+         "BNT alone misranks some truths (the under-determined case the\n"
+         "paper's Section 4.3 multi-start exists to mitigate).\n";
+  return 0;
+}

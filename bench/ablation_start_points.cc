@@ -1,0 +1,90 @@
+/// \file ablation_start_points.cc
+/// Ablation for DESIGN.md decision #3: the Section 4.3 multi-start
+/// strategy vs cheaper alternatives. Each strategy estimates the
+/// selectivities of synthetic 3-predicate samples; reported are the mean
+/// and worst absolute selectivity errors and the average number of
+/// Nelder-Mead starts spent.
+
+#include "bench_util.h"
+#include "optimizer/estimator.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+namespace {
+
+CounterSample PerfectSample(const ScanShape& shape,
+                            const std::vector<double>& truth) {
+  CounterSample s;
+  s.tuples_in = shape.num_tuples;
+  double out = shape.num_tuples;
+  for (double p : truth) out *= p;
+  s.tuples_out = out;
+  s.counters = PredictCounters(shape, truth);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  ScanShape shape;
+  shape.num_tuples = 1e6;
+  shape.predicate_widths = {4, 4, 4};
+  shape.predictor = PredictorConfig::Symmetric(6);
+
+  const std::vector<std::vector<double>> truths = {
+      {0.9, 0.5, 0.1}, {0.1, 0.5, 0.9}, {0.5, 0.5, 0.5},
+      {0.05, 0.95, 0.5}, {0.8, 0.75, 0.7}, {0.3, 0.2, 0.6},
+      {0.99, 0.01, 0.5}, {0.45, 0.55, 0.5},
+  };
+
+  struct Strategy {
+    std::string name;
+    EstimatorConfig config;
+  };
+  std::vector<Strategy> strategies;
+  {
+    Strategy full{"multi-start + vertices (paper)", {}};
+    strategies.push_back(full);
+    Strategy no_vertices{"multi-start, no vertices", {}};
+    no_vertices.config.include_vertex_starts = false;
+    strategies.push_back(no_vertices);
+    Strategy single{"single start (null hypothesis)", {}};
+    single.config.include_vertex_starts = false;
+    single.config.max_starts = 1;
+    strategies.push_back(single);
+  }
+
+  TablePrinter table("Ablation: start-point strategies (3 predicates)");
+  table.SetHeader(
+      {"strategy", "mean |err|", "worst |err|", "avg starts"});
+  for (const Strategy& strategy : strategies) {
+    double total_err = 0, worst_err = 0, total_starts = 0;
+    size_t terms = 0;
+    for (const auto& truth : truths) {
+      const CounterSample s = PerfectSample(shape, truth);
+      auto est = EstimateSelectivities(shape, s, strategy.config);
+      NIPO_CHECK(est.ok());
+      total_starts += est.ValueOrDie().starts_used;
+      for (size_t i = 0; i < truth.size(); ++i) {
+        const double err =
+            std::abs(est.ValueOrDie().selectivities[i] - truth[i]);
+        total_err += err;
+        worst_err = std::max(worst_err, err);
+        ++terms;
+      }
+    }
+    table.AddRow({strategy.name,
+                  FormatDouble(total_err / static_cast<double>(terms), 4),
+                  FormatDouble(worst_err, 4),
+                  FormatDouble(total_starts /
+                                   static_cast<double>(truths.size()),
+                               1)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Expected: the paper's strategy keeps the worst-case error low;\n"
+         "a single start is cheaper but can land on a local optimum for\n"
+         "skewed truths (larger worst-case error).\n";
+  return 0;
+}

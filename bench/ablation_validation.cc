@@ -1,0 +1,74 @@
+/// \file ablation_validation.cc
+/// Ablation for DESIGN.md decision #6: the Section 4.4 validate-and-revert
+/// step after each reorder. On a randomly laid-out data set the
+/// per-vector samples are noisy, so estimates occasionally suggest bad
+/// orders; validation catches them. The bench also measures the cost of
+/// validation on a benign (clustered) data set.
+
+#include "bench_util.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+namespace {
+
+struct Outcome {
+  double avg_ms = 0;
+  double worst_ms = 0;
+  size_t changes = 0;
+  size_t reverts = 0;
+};
+
+Outcome RunSweep(const Engine& engine, const QuerySpec& query,
+                 bool validate) {
+  ProgressiveConfig cfg;
+  cfg.vector_size = 512;
+  cfg.reopt_interval = 5;
+  cfg.validate_and_revert = validate;
+  Outcome out;
+  const auto orders = AllOrders(query.ops.size());
+  // Sample every 6th permutation to keep the sweep quick.
+  size_t count = 0;
+  for (size_t i = 0; i < orders.size(); i += 6) {
+    auto r = engine.ExecuteProgressive(query, cfg, orders[i]);
+    NIPO_CHECK(r.ok());
+    const double ms = r.ValueOrDie().drive.simulated_msec;
+    out.avg_ms += ms;
+    out.worst_ms = std::max(out.worst_ms, ms);
+    out.changes += r.ValueOrDie().changes.size();
+    for (const PeoChange& c : r.ValueOrDie().changes) {
+      if (c.reverted) ++out.reverts;
+    }
+    ++count;
+  }
+  out.avg_ms /= static_cast<double>(count);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  TablePrinter table("Ablation: validate-and-revert after each reorder");
+  table.SetHeader({"data set", "validation", "avg ms", "worst ms",
+                   "order changes", "reverts"});
+  for (Layout layout : {Layout::kClustered, Layout::kRandom}) {
+    Engine engine = MakeQ6Engine(/*scale_factor=*/0.02, layout);
+    QuerySpec query;
+    query.table = "lineitem";
+    query.ops = MakeQ6FullPredicates();
+    query.payload_columns = Q6PayloadColumns();
+    for (bool validate : {true, false}) {
+      const Outcome o = RunSweep(engine, query, validate);
+      table.AddRow({std::string(LayoutToString(layout)),
+                    validate ? "on" : "off", FormatDouble(o.avg_ms, 2),
+                    FormatDouble(o.worst_ms, 2),
+                    std::to_string(o.changes), std::to_string(o.reverts)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Expected: on clustered data validation is nearly free (few\n"
+         "reverts); on random data it bounds the worst case by rolling\n"
+         "back regressions that noisy samples caused.\n";
+  return 0;
+}

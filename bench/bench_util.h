@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared scaffolding for the figure-reproduction benchmarks.
+///
+/// Scale note: the paper runs TPC-H SF 100 (600M lineitems, 600 vectors of
+/// 1M tuples) on a real Xeon E5-2630 v2. The benches run the same
+/// experiments on a scaled pair of (data, machine): lineitem shrinks by
+/// ~500-3000x and the simulated caches shrink by the factor given to
+/// HwConfig::ScaledXeon, preserving the data:cache ratios the locality
+/// effects depend on. Absolute "simulated ms" therefore differ from the
+/// paper; the *shapes* (who wins, crossovers, robustness factors) are the
+/// reproduction target (see EXPERIMENTS.md).
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "core/engine.h"
+#include "tpch/distributions.h"
+#include "tpch/q6.h"
+#include "tpch/tpch_gen.h"
+
+namespace nipo::bench {
+
+/// Simple aggregate over a series.
+struct SeriesStats {
+  double min = 0, max = 0, avg = 0;
+};
+
+inline SeriesStats Stats(const std::vector<double>& xs) {
+  NIPO_CHECK(!xs.empty());
+  SeriesStats s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.avg = std::accumulate(xs.begin(), xs.end(), 0.0) /
+          static_cast<double>(xs.size());
+  return s;
+}
+
+/// Builds an Engine with a lineitem table of the given scale and layout.
+inline Engine MakeQ6Engine(double scale_factor, Layout layout,
+                           uint64_t cache_divisor = 16,
+                           uint64_t seed = 42) {
+  Engine engine(HwConfig::ScaledXeon(cache_divisor));
+  TpchConfig cfg;
+  cfg.scale_factor = scale_factor;
+  cfg.seed = seed;
+  auto li = GenerateLineitem(cfg);
+  NIPO_CHECK(li.ok());
+  if (layout != Layout::kClustered) {
+    // The generator's native layout is already weakly clustered; only
+    // re-lay-out for sorted/random.
+    Prng prng(seed + 1);
+    NIPO_CHECK(
+        ApplyLayout(li.ValueOrDie().get(), "l_shipdate", layout, &prng)
+            .ok());
+  }
+  NIPO_CHECK(engine.RegisterTable(std::move(li.ValueOrDie())).ok());
+  return engine;
+}
+
+/// Simulated msec of every evaluation order of `query` (fixed order, no
+/// optimization), in AllOrders() enumeration order.
+inline std::vector<double> PermutationSweep(const Engine& engine,
+                                            const QuerySpec& query,
+                                            size_t vector_size) {
+  std::vector<double> ms;
+  for (const auto& order : AllOrders(query.ops.size())) {
+    auto r = engine.ExecuteBaseline(query, vector_size, order);
+    NIPO_CHECK(r.ok());
+    ms.push_back(r.ValueOrDie().drive.simulated_msec);
+  }
+  return ms;
+}
+
+/// Shipdate selectivity grid used by Figures 1 and 12 (fractions; the
+/// paper's x axis is in percent, 1e-4 % .. 1e2 %).
+inline std::vector<double> ShipdateSelectivityGrid() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0};
+}
+
+inline std::string PercentLabel(double fraction) {
+  return FormatDouble(fraction * 100.0, 4) + "%";
+}
+
+}  // namespace nipo::bench

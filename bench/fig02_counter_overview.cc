@@ -1,0 +1,78 @@
+/// \file fig02_counter_overview.cc
+/// Figure 2: the six monitored events of a single-predicate selection as
+/// the selectivity sweeps 0..100 %, each normalized to its own maximum
+/// over the sweep (the paper's "% of max" y axis): L3 accesses, branches
+/// taken / not taken, and the three misprediction counters.
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "exec/pipeline.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  const size_t kRows = 400'000;
+  Prng prng(7);
+  std::vector<int32_t> key(kRows);
+  std::vector<int64_t> payload(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    key[i] = static_cast<int32_t>(prng.NextBounded(1000));
+    payload[i] = 1;
+  }
+  Table t("t");
+  NIPO_CHECK(t.AddColumn("key", std::move(key)).ok());
+  NIPO_CHECK(t.AddColumn("payload", std::move(payload)).ok());
+
+  struct Row {
+    double sel;
+    PmuCounters c;
+  };
+  std::vector<Row> rows;
+  for (int pct = 0; pct <= 100; pct += 5) {
+    Pmu pmu(HwConfig::ScaledXeon(16));
+    auto exec = PipelineExecutor::Compile(
+        t,
+        {OperatorSpec::Predicate(
+            {"key", CompareOp::kLt, static_cast<double>(pct * 10)})},
+        {"payload"}, &pmu);
+    NIPO_CHECK(exec.ok());
+    exec.ValueOrDie()->ExecuteAll();
+    rows.push_back({pct / 100.0, pmu.Read()});
+  }
+
+  auto series = [&](auto getter) {
+    std::vector<double> xs;
+    for (const Row& r : rows) xs.push_back(static_cast<double>(getter(r.c)));
+    const double mx = *std::max_element(xs.begin(), xs.end());
+    for (double& x : xs) x = mx > 0 ? 100.0 * x / mx : 0.0;
+    return xs;
+  };
+  const auto l3 = series([](const PmuCounters& c) { return c.l3_accesses; });
+  const auto bt =
+      series([](const PmuCounters& c) { return c.branches_taken; });
+  const auto bnt =
+      series([](const PmuCounters& c) { return c.branches_not_taken; });
+  const auto mp =
+      series([](const PmuCounters& c) { return c.mispredictions; });
+  const auto tmp =
+      series([](const PmuCounters& c) { return c.taken_mispredictions; });
+  const auto ntmp = series(
+      [](const PmuCounters& c) { return c.not_taken_mispredictions; });
+
+  TablePrinter table("Figure 2: Counter overview (single selection, % of "
+                     "each counter's max)");
+  table.SetHeader({"sel%", "L3 access", "B taken", "B not taken", "B MP",
+                   "taken MP", "not-taken MP"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table.AddNumericRow({rows[i].sel * 100, l3[i], bt[i], bnt[i], mp[i],
+                         tmp[i], ntmp[i]},
+                        1);
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Paper shape: branches-taken falls and branches-not-taken rises\n"
+         "linearly; mispredictions peak near 50% selectivity; L3 accesses\n"
+         "climb over 0-20% selectivity and then saturate.\n";
+  return 0;
+}

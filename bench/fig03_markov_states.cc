@@ -1,0 +1,95 @@
+/// \file fig03_markov_states.cc
+/// Figure 3: predictions of Markov chains with 2..8 states (including the
+/// +1T / +1NT asymmetric variants) against a measured sample, for taken,
+/// not-taken and total mispredictions as % of all branches. The "Ivy
+/// sample" column is the simulated 6-state predictor driven by i.i.d.
+/// branches -- the stand-in for the paper's Ivy Bridge measurements.
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "cost/markov.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  PredictorConfig config;
+};
+
+std::vector<Variant> Variants() {
+  return {
+      {"2st", PredictorConfig::Symmetric(2)},
+      {"4st", PredictorConfig::Symmetric(4)},
+      {"5st+1NT", PredictorConfig::PlusOneNotTaken(5)},
+      {"5st+1T", PredictorConfig::PlusOneTaken(5)},
+      {"6st", PredictorConfig::Symmetric(6)},
+      {"7st+1T", PredictorConfig::PlusOneTaken(7)},
+      {"7st+1NT", PredictorConfig::PlusOneNotTaken(7)},
+      {"8st", PredictorConfig::Symmetric(8)},
+  };
+}
+
+/// Simulated long-run misprediction fractions of the 6-state hardware
+/// predictor at selectivity p (the measured reference series).
+BranchProbabilities MeasureIvy(double p) {
+  BranchPredictor bp(PredictorConfig::Symmetric(6));
+  bp.EnsureSites(1);
+  Prng prng(99);
+  const int kWarmup = 2000, kSamples = 200'000;
+  for (int i = 0; i < kWarmup; ++i) bp.Observe(0, !prng.NextBool(p));
+  BranchProbabilities out;
+  for (int i = 0; i < kSamples; ++i) {
+    const bool taken = !prng.NextBool(p);
+    const BranchOutcome o = bp.Observe(0, taken);
+    if (o.mispredicted) {
+      if (taken) {
+        out.taken_mp += 1.0;
+      } else {
+        out.not_taken_mp += 1.0;
+      }
+    }
+  }
+  out.taken_mp /= kSamples;
+  out.not_taken_mp /= kSamples;
+  out.mp = out.taken_mp + out.not_taken_mp;
+  return out;
+}
+
+void Emit(const std::string& title,
+          double BranchProbabilities::*field) {
+  TablePrinter table(title);
+  std::vector<std::string> header = {"sel%"};
+  for (const Variant& v : Variants()) header.push_back(v.name);
+  header.push_back("Ivy sample");
+  table.SetHeader(header);
+  for (int pct = 0; pct <= 100; pct += 10) {
+    const double p = pct / 100.0;
+    std::vector<double> row = {static_cast<double>(pct)};
+    for (const Variant& v : Variants()) {
+      row.push_back(100.0 *
+                    (ComputeBranchProbabilities(v.config, p).*field));
+    }
+    row.push_back(100.0 * (MeasureIvy(p).*field));
+    table.AddNumericRow(row, 2);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  Emit("Figure 3a: Taken mispredictions (% of all branches)",
+       &BranchProbabilities::taken_mp);
+  Emit("Figure 3b: Not-taken mispredictions (% of all branches)",
+       &BranchProbabilities::not_taken_mp);
+  Emit("Figure 3c: All mispredictions (% of all branches)",
+       &BranchProbabilities::mp);
+  std::cout << "Paper shape: the 6-state chain matches the measured sample\n"
+               "almost exactly on all three panels; other state counts fit\n"
+               "the total (3c) but misplace the taken/not-taken peaks by\n"
+               "~10% of selectivity.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file fig04_two_pred_mispredict.cc
+/// Figure 4: measured/predicted ratios for the three misprediction
+/// counters of a two-predicate selection, over the full 2D selectivity
+/// grid. Values near 1.0 everywhere mean the multi-predicate branch model
+/// (input of predicate 2 = output of predicate 1) is sound.
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "cost/branch_model.h"
+#include "exec/pipeline.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  const size_t kRows = 150'000;
+  Prng prng(13);
+  std::vector<int32_t> a(kRows), b(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    a[i] = static_cast<int32_t>(prng.NextBounded(1000));
+    b[i] = static_cast<int32_t>(prng.NextBounded(1000));
+  }
+  Table t("t");
+  NIPO_CHECK(t.AddColumn("a", std::move(a)).ok());
+  NIPO_CHECK(t.AddColumn("b", std::move(b)).ok());
+
+  const PredictorConfig predictor = PredictorConfig::Symmetric(6);
+  const std::vector<double> grid = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  TablePrinter nt("Figure 4a: measured/predicted NOT-TAKEN mispredictions");
+  TablePrinter tk("Figure 4b: measured/predicted TAKEN mispredictions");
+  TablePrinter all("Figure 4c: measured/predicted ALL mispredictions");
+  for (TablePrinter* table : {&nt, &tk, &all}) {
+    std::vector<std::string> header = {"sel1\\sel2"};
+    for (double s2 : grid) header.push_back(FormatDouble(s2, 1));
+    table->SetHeader(header);
+  }
+
+  for (double s1 : grid) {
+    std::vector<std::string> row_nt = {FormatDouble(s1, 1)};
+    std::vector<std::string> row_tk = {FormatDouble(s1, 1)};
+    std::vector<std::string> row_all = {FormatDouble(s1, 1)};
+    for (double s2 : grid) {
+      Pmu pmu(HwConfig::ScaledXeon(16));
+      auto exec = PipelineExecutor::Compile(
+          t,
+          {OperatorSpec::Predicate({"a", CompareOp::kLt, s1 * 1000}),
+           OperatorSpec::Predicate({"b", CompareOp::kLt, s2 * 1000})},
+          {}, &pmu);
+      NIPO_CHECK(exec.ok());
+      exec.ValueOrDie()->ExecuteAll();
+      const PmuCounters measured = pmu.Read();
+      const BranchEstimate predicted = EstimateScanBranches(
+          predictor, static_cast<double>(kRows), {s1, s2});
+      row_nt.push_back(FormatDouble(
+          static_cast<double>(measured.not_taken_mispredictions) /
+              std::max(1.0, predicted.not_taken_mp),
+          2));
+      row_tk.push_back(
+          FormatDouble(static_cast<double>(measured.taken_mispredictions) /
+                           std::max(1.0, predicted.taken_mp),
+                       2));
+      row_all.push_back(
+          FormatDouble(static_cast<double>(measured.mispredictions) /
+                           std::max(1.0, predicted.mp),
+                       2));
+    }
+    nt.AddRow(row_nt);
+    tk.AddRow(row_tk);
+    all.AddRow(row_all);
+  }
+  nt.Print(std::cout);
+  tk.Print(std::cout);
+  all.Print(std::cout);
+  std::cout << "Paper shape: ratios within ~10% of 1.0 across the grid,\n"
+               "with mild deviations in the 60-80% band (4a) and 20-40%\n"
+               "band of the first predicate (4b).\n";
+  return 0;
+}

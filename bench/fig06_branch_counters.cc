@@ -1,0 +1,87 @@
+/// \file fig06_branch_counters.cc
+/// Figure 6: absolute branch-misprediction counts (total, taken,
+/// not-taken) for a selection over 1M tuples: the Equation 5 estimates,
+/// the Zeuch et al. [23] baseline, and "measured" values from simulated
+/// predictors standing in for the micro-architectures (Nehalem with a
+/// shallower counter, Sandy/Ivy/Broadwell with the 6-state counter).
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "cost/markov.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+namespace {
+
+struct Arch {
+  std::string name;
+  PredictorConfig config;
+};
+
+BranchProbabilities Measure(const PredictorConfig& config, double p,
+                            uint64_t seed) {
+  BranchPredictor bp(config);
+  bp.EnsureSites(1);
+  Prng prng(seed);
+  const int kWarmup = 2000, kSamples = 200'000;
+  for (int i = 0; i < kWarmup; ++i) bp.Observe(0, !prng.NextBool(p));
+  BranchProbabilities out;
+  for (int i = 0; i < kSamples; ++i) {
+    const bool taken = !prng.NextBool(p);
+    const BranchOutcome o = bp.Observe(0, taken);
+    if (o.mispredicted) {
+      if (taken) {
+        out.taken_mp += 1.0;
+      } else {
+        out.not_taken_mp += 1.0;
+      }
+    }
+  }
+  out.taken_mp /= kSamples;
+  out.not_taken_mp /= kSamples;
+  out.mp = out.taken_mp + out.not_taken_mp;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double kTuples = 1e6;
+  const std::vector<Arch> archs = {
+      {"Nehalem", PredictorConfig::Symmetric(4)},
+      {"Sandy", PredictorConfig::Symmetric(6)},
+      {"Ivy", PredictorConfig::Symmetric(6)},
+      {"Broadwell", PredictorConfig::Symmetric(6)},
+  };
+  const PredictorConfig est_cfg = PredictorConfig::Symmetric(6);
+
+  TablePrinter table(
+      "Figure 6: Branch mispredictions on 1M tuples (counts x1000)");
+  std::vector<std::string> header = {"sel%", "Est MP", "Est TakMP",
+                                     "Est NTakMP", "Zeuch"};
+  for (const Arch& a : archs) header.push_back(a.name + " MP");
+  table.SetHeader(header);
+
+  for (int pct = 0; pct <= 100; pct += 10) {
+    const double p = pct / 100.0;
+    const BranchProbabilities est = ComputeBranchProbabilities(est_cfg, p);
+    std::vector<double> row = {static_cast<double>(pct),
+                               est.mp * kTuples / 1000.0,
+                               est.taken_mp * kTuples / 1000.0,
+                               est.not_taken_mp * kTuples / 1000.0,
+                               ZeuchMispredictionFraction(p) * kTuples /
+                                   1000.0};
+    uint64_t seed = 100;
+    for (const Arch& a : archs) {
+      row.push_back(Measure(a.config, p, seed++).mp * kTuples / 1000.0);
+    }
+    table.AddNumericRow(row, 1);
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Paper shape: the estimate overlays Sandy/Ivy/Broadwell almost\n"
+         "exactly; Nehalem (shallower counter) partially deviates; the\n"
+         "Zeuch baseline under-estimates around 50% selectivity.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file fig07_search_space.cc
+/// Figure 7: the search-space restriction worked example of Section 4.1.
+/// A query selects 10 of 100 tuples through four predicates with true
+/// per-column accesses [80, 70, 50, 10] (branches-not-taken total 210);
+/// the bench prints the cumulated access curves for the query, the tuple
+/// bounds (Eq. 6-7) and the BNT bounds (Eq. 8-9).
+
+#include "bench_util.h"
+#include "optimizer/bounds.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  const double tupsin = 100, tupsout = 10;
+  const std::vector<double> truth = {80, 70, 50, 10};
+  double bnt = 0;
+  for (double a : truth) bnt += a;
+
+  const SearchBounds tuple =
+      ComputeTupleBounds(tupsin, tupsout, truth.size()).ValueOrDie();
+  const SearchBounds bntb =
+      ComputeBntBounds(tupsin, tupsout, bnt, truth.size()).ValueOrDie();
+
+  TablePrinter per_col("Figure 7 (per-column accesses)");
+  per_col.SetHeader({"col", "search query", "lower tuple", "upper tuple",
+                     "lower BNT", "upper BNT"});
+  for (size_t i = 0; i < truth.size(); ++i) {
+    per_col.AddNumericRow({static_cast<double>(i + 1), truth[i],
+                           tuple.lower[i], tuple.upper[i], bntb.lower[i],
+                           bntb.upper[i]},
+                          1);
+  }
+  per_col.Print(std::cout);
+
+  TablePrinter cumulated("Figure 7 (cumulated accesses, as plotted)");
+  cumulated.SetHeader({"prefix", "search query", "lower tuple",
+                       "upper tuple", "lower BNT", "upper BNT"});
+  double cq = 0, clt = 0, cut = 0, clb = 0, cub = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    cq += truth[i];
+    clt += tuple.lower[i];
+    cut += tuple.upper[i];
+    clb += bntb.lower[i];
+    cub += bntb.upper[i];
+    cumulated.AddRow({"col1..col" + std::to_string(i + 1),
+                      FormatDouble(cq, 1), FormatDouble(clt, 1),
+                      FormatDouble(cut, 1), FormatDouble(clb, 1),
+                      FormatDouble(cub, 1)});
+  }
+  cumulated.Print(std::cout);
+  std::cout
+      << "Paper values: BNT bounds restrict [col1..col4] to\n"
+         "[67, 50, 10, 10] .. [100, 95, 66, 10] (integer-rounded), far\n"
+         "tighter than the tuple bounds [10,10,10,10] .. [100,100,100,10].\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// \file fig08_two_pred_prediction.cc
+/// Figure 8: the four analytic counter predictions for a two-predicate
+/// selection over 10M tuples, as 2D selectivity grids -- the signal the
+/// learning algorithm matches samples against. Two candidate queries are
+/// distinguishable whenever they differ in at least one of the four grids.
+
+#include "bench_util.h"
+#include "cost/counter_model.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  ScanShape shape;
+  shape.num_tuples = 1e7;
+  shape.predicate_widths = {4, 4};
+  shape.predictor = PredictorConfig::Symmetric(6);
+
+  const std::vector<double> grid = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                    0.6, 0.7, 0.8, 0.9, 1.0};
+  struct Panel {
+    std::string title;
+    double CounterEstimate::*field;
+    double scale;
+  };
+  const std::vector<Panel> panels = {
+      {"Figure 8a: predicted branches not taken (x1e6)",
+       &CounterEstimate::branches_not_taken, 1e-6},
+      {"Figure 8b: predicted mispredicted branches NOT taken (x1e6)",
+       &CounterEstimate::not_taken_mp, 1e-6},
+      {"Figure 8c: predicted mispredicted branches TAKEN (x1e6)",
+       &CounterEstimate::taken_mp, 1e-6},
+      {"Figure 8d: predicted L3 accesses (x1e6)",
+       &CounterEstimate::l3_accesses, 1e-6},
+  };
+  for (const Panel& panel : panels) {
+    TablePrinter table(panel.title);
+    std::vector<std::string> header = {"p1\\p2"};
+    for (double s2 : grid) header.push_back(FormatDouble(s2, 1));
+    table.SetHeader(header);
+    for (double s1 : grid) {
+      std::vector<std::string> row = {FormatDouble(s1, 1)};
+      for (double s2 : grid) {
+        const CounterEstimate e = PredictCounters(shape, {s1, s2});
+        row.push_back(FormatDouble((e.*panel.field) * panel.scale, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::cout
+      << "Paper shape: 8a grows with p1 and p1*p2; 8b/8c peak along\n"
+         "mid-selectivity bands; 8d saturates beyond ~20% densities.\n"
+         "E.g. (0.4, 0.2) vs (0.2, 0.4) differ clearly in panel 8b.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// \file fig11_common_case.cc
+/// Figure 11: the TPC-H common case. All 120 evaluation orders of the
+/// full five-predicate Q6 run once as a fixed-order base line and once
+/// under progressive optimization (reoptimizing every 10 vectors, as in
+/// the paper). Rows are sorted by base-line run-time, the paper's x-axis.
+
+#include "bench_util.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  Engine engine = MakeQ6Engine(/*scale_factor=*/0.05, Layout::kClustered);
+  QuerySpec query;
+  query.table = "lineitem";
+  query.ops = MakeQ6FullPredicates();
+  query.payload_columns = Q6PayloadColumns();
+  const size_t kVectorSize = 2'048;  // ~147 vectors at this scale
+
+  ProgressiveConfig cfg;
+  cfg.vector_size = kVectorSize;
+  cfg.reopt_interval = 10;
+
+  struct Row {
+    double base, optimized;
+  };
+  std::vector<Row> rows;
+  for (const auto& order : AllOrders(5)) {
+    auto base = engine.ExecuteBaseline(query, kVectorSize, order);
+    auto prog = engine.ExecuteProgressive(query, cfg, order);
+    NIPO_CHECK(base.ok() && prog.ok());
+    rows.push_back({base.ValueOrDie().drive.simulated_msec,
+                    prog.ValueOrDie().drive.simulated_msec});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.base < b.base; });
+
+  TablePrinter table(
+      "Figure 11: TPC-H common case (120 permutations, sorted by base "
+      "line; every 8th shown)");
+  table.SetHeader({"perm#", "base line ms", "optimized ms"});
+  for (size_t i = 0; i < rows.size(); i += 8) {
+    table.AddNumericRow({static_cast<double>(i), rows[i].base,
+                         rows[i].optimized},
+                        2);
+  }
+  table.AddNumericRow({static_cast<double>(rows.size() - 1),
+                       rows.back().base, rows.back().optimized},
+                      2);
+  table.Print(std::cout);
+
+  std::vector<double> base_ms, opt_ms;
+  size_t improved = 0;
+  for (const Row& r : rows) {
+    base_ms.push_back(r.base);
+    opt_ms.push_back(r.optimized);
+    if (r.optimized < r.base) ++improved;
+  }
+  const SeriesStats bs = Stats(base_ms), os = Stats(opt_ms);
+  TablePrinter summary("Figure 11 summary");
+  summary.SetHeader({"series", "min ms", "avg ms", "max ms"});
+  summary.AddRow({"base line", FormatDouble(bs.min, 2),
+                  FormatDouble(bs.avg, 2), FormatDouble(bs.max, 2)});
+  summary.AddRow({"optimized", FormatDouble(os.min, 2),
+                  FormatDouble(os.avg, 2), FormatDouble(os.max, 2)});
+  summary.Print(std::cout);
+  std::cout << "orders improved by progressive optimization: " << improved
+            << "/120\n"
+            << "avg speedup " << FormatDouble(bs.avg / os.avg, 2)
+            << "x, worst-case speedup " << FormatDouble(bs.max / os.max, 2)
+            << "x\n"
+            << "Paper shape: the optimized line is nearly flat across all\n"
+               "120 permutations, at or below the base line everywhere but\n"
+               "the few already-optimal orders.\n";
+  return 0;
+}

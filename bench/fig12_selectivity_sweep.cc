@@ -1,0 +1,61 @@
+/// \file fig12_selectivity_sweep.cc
+/// Figure 12: Q6 (intro variant) with varying shipdate selectivity. For
+/// each selectivity the bench reports the min/avg/max base-line run-time
+/// over all 24 fixed orders and the average progressive run-time (over a
+/// sample of start orders) for reoptimization intervals 10, 75 and 200.
+
+#include "bench_util.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  Engine engine = MakeQ6Engine(/*scale_factor=*/0.02, Layout::kClustered);
+  const Table* li = engine.GetTable("lineitem").ValueOrDie();
+  const size_t kVectorSize = 512;  // ~236 vectors: ReopInt 200 fires once
+
+  const std::vector<size_t> reop_intervals = {10, 75, 200};
+  // Representative start orders (the paper averages over initial PEOs).
+  const std::vector<std::vector<size_t>> starts = {
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2},
+      {2, 0, 3, 1}, {3, 0, 1, 2}, {0, 2, 3, 1},
+  };
+
+  TablePrinter table("Figure 12: Q6 with varying shipdate selectivity");
+  table.SetHeader({"shipdate sel", "min base", "avg base", "max base",
+                   "avg ReopInt10", "avg ReopInt75", "avg ReopInt200"});
+
+  for (double target : ShipdateSelectivityGrid()) {
+    const int32_t value =
+        ValueForSelectivity(*li, "l_shipdate", target).ValueOrDie();
+    QuerySpec query;
+    query.table = "lineitem";
+    query.ops = MakeQ6IntroPredicates(value);
+    query.payload_columns = Q6PayloadColumns();
+
+    const SeriesStats base =
+        Stats(PermutationSweep(engine, query, kVectorSize));
+
+    std::vector<double> row = {target * 100, base.min, base.avg, base.max};
+    for (size_t interval : reop_intervals) {
+      ProgressiveConfig cfg;
+      cfg.vector_size = kVectorSize;
+      cfg.reopt_interval = interval;
+      double total = 0;
+      for (const auto& order : starts) {
+        auto prog = engine.ExecuteProgressive(query, cfg, order);
+        NIPO_CHECK(prog.ok());
+        total += prog.ValueOrDie().drive.simulated_msec;
+      }
+      row.push_back(total / static_cast<double>(starts.size()));
+    }
+    table.AddNumericRow(row, 3);
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Paper shape: ReopInt 10 tracks the min base line closely in the\n"
+         "0.1%-10% range, sits within ~2x of it below 0.1% (convergence\n"
+         "cost), and trails slightly at very high selectivities; overall\n"
+         "improvement up to ~3x vs avg and ~4.5x vs max base line.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file fig13_sortedness.cc
+/// Figure 13: the full Q6 on three physical layouts of lineitem --
+/// sorted on shipdate (a), clustered within months (b), fully random (c)
+/// -- for all 120 permutations, base line vs progressive with
+/// reoptimization intervals 10, 75 and 200.
+
+#include "bench_util.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  const size_t kVectorSize = 512;
+  const std::vector<size_t> reop_intervals = {10, 75, 200};
+
+  for (Layout layout :
+       {Layout::kSorted, Layout::kClustered, Layout::kRandom}) {
+    Engine engine = MakeQ6Engine(/*scale_factor=*/0.02, layout);
+    QuerySpec query;
+    query.table = "lineitem";
+    query.ops = MakeQ6FullPredicates();
+    query.payload_columns = Q6PayloadColumns();
+
+    const std::vector<double> base =
+        PermutationSweep(engine, query, kVectorSize);
+
+    // Progressive run per permutation per interval.
+    std::vector<std::vector<double>> prog(reop_intervals.size());
+    const auto orders = AllOrders(5);
+    for (size_t k = 0; k < reop_intervals.size(); ++k) {
+      ProgressiveConfig cfg;
+      cfg.vector_size = kVectorSize;
+      cfg.reopt_interval = reop_intervals[k];
+      for (const auto& order : orders) {
+        auto r = engine.ExecuteProgressive(query, cfg, order);
+        NIPO_CHECK(r.ok());
+        prog[k].push_back(r.ValueOrDie().drive.simulated_msec);
+      }
+    }
+
+    TablePrinter table("Figure 13 (" + std::string(LayoutToString(layout)) +
+                       " data set): per-strategy stats over 120 "
+                       "permutations");
+    table.SetHeader(
+        {"strategy", "min ms", "avg ms", "max ms", "beats base (of 120)"});
+    const SeriesStats bs = Stats(base);
+    table.AddRow({"base line", FormatDouble(bs.min, 2),
+                  FormatDouble(bs.avg, 2), FormatDouble(bs.max, 2), "-"});
+    for (size_t k = 0; k < reop_intervals.size(); ++k) {
+      const SeriesStats ps = Stats(prog[k]);
+      size_t wins = 0;
+      for (size_t i = 0; i < base.size(); ++i) {
+        if (prog[k][i] < base[i]) ++wins;
+      }
+      table.AddRow({"ReopInt " + std::to_string(reop_intervals[k]),
+                    FormatDouble(ps.min, 2), FormatDouble(ps.avg, 2),
+                    FormatDouble(ps.max, 2), std::to_string(wins)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout
+      << "Paper shape: on sorted data short intervals win (the optimal\n"
+         "PEO changes between the three shipdate phases); on random data\n"
+         "improvements shrink and large intervals approach or exceed the\n"
+         "base line; clustered sits in between.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file fig16_overhead.cc
+/// Figure 16: monitoring overhead vs predicate count. The
+/// enumerator-based approach (explicit counter variables after every
+/// predicate evaluation) is compared with performance-counter sampling
+/// (one counter read per vector) against an uninstrumented run; overheads
+/// are reported in percent on a log-scale-worthy spread.
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "exec/pipeline.h"
+#include "exec/vector_driver.h"
+
+using namespace nipo;
+using namespace nipo::bench;
+
+int main() {
+  const size_t kRows = 300'000;
+  const size_t kMaxPredicates = 10;
+  const size_t kVectorSize = 16'384;
+
+  // High-selectivity columns so every predicate is evaluated for most
+  // tuples (the paper's worst case for instrumentation overhead).
+  Prng prng(17);
+  Table t("t");
+  for (size_t c = 0; c < kMaxPredicates; ++c) {
+    std::vector<int32_t> col(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      col[i] = static_cast<int32_t>(prng.NextBounded(1000));
+    }
+    NIPO_CHECK(t.AddColumn("c" + std::to_string(c), std::move(col)).ok());
+  }
+
+  TablePrinter table("Figure 16: instrumentation overhead in % vs "
+                     "uninstrumented execution");
+  table.SetHeader({"#predicates", "enumerator %", "perf counters %"});
+
+  for (size_t n = 1; n <= kMaxPredicates; ++n) {
+    std::vector<OperatorSpec> ops;
+    for (size_t c = 0; c < n; ++c) {
+      ops.push_back(OperatorSpec::Predicate(
+          {"c" + std::to_string(c), CompareOp::kLt, 950.0}));
+    }
+    auto run = [&](InstrumentationMode mode, bool sample) {
+      Pmu pmu(HwConfig::XeonE5_2630v2());
+      auto exec = PipelineExecutor::Compile(t, ops, {}, &pmu, mode);
+      NIPO_CHECK(exec.ok());
+      VectorDriver driver(exec.ValueOrDie().get(), kVectorSize);
+      if (sample) {
+        return driver.Run([](const VectorSample&) {}).total.cycles;
+      }
+      return driver.Run().total.cycles;
+    };
+    const double plain =
+        static_cast<double>(run(InstrumentationMode::kPmu, false));
+    const double papi =
+        static_cast<double>(run(InstrumentationMode::kPmu, true));
+    const double enumerator =
+        static_cast<double>(run(InstrumentationMode::kEnumerator, false));
+    table.AddRow({std::to_string(n),
+                  FormatDouble(100.0 * (enumerator - plain) / plain, 3),
+                  FormatDouble(100.0 * (papi - plain) / plain, 3)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Paper shape: enumerator overhead grows with the predicate count\n"
+         "toward ~100% (it nearly doubles the per-evaluation work), while\n"
+         "performance-counter sampling stays orders of magnitude below\n"
+         "(well under 1%).\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// \file sortedness_join.cc
+/// Demonstrates the Section 5.5-5.6 capability: detecting from the cache
+/// counters whether a foreign-key join probes a co-clustered table, and
+/// letting the progressive optimizer pick selection-first vs join-first.
+
+#include <cstdio>
+#include <algorithm>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/engine.h"
+#include "optimizer/sortedness.h"
+#include "tpch/distributions.h"
+#include "tpch/tpch_gen.h"
+
+using namespace nipo;
+
+namespace {
+
+QuerySpec MakeQuery(const Table* orders) {
+  // Expensive selection (sel ~0.5) + FK probe filtered on the dimension
+  // (sel ~0.6): the cheap side depends entirely on probe locality.
+  QuerySpec query;
+  query.table = "lineitem";
+  PredicateSpec expensive{"l_quantity", CompareOp::kLt, 26.0};
+  expensive.extra_instructions = 24.0;  // a UDF-ish predicate
+  query.ops = {
+      OperatorSpec::Predicate(expensive),
+      OperatorSpec::FkProbe(
+          {"l_orderkey", orders, "o_shippriority", CompareOp::kLe, 2.0}),
+  };
+  query.payload_columns = {"l_extendedprice"};
+  return query;
+}
+
+}  // namespace
+
+int main() {
+  TpchConfig tpch;
+  tpch.scale_factor = 0.05;
+  auto db = GenerateTpch(tpch);
+  NIPO_CHECK(db.ok());
+
+  TablePrinter table("selection+join ordering under different layouts");
+  table.SetHeader({"layout", "sel-first ms", "join-first ms",
+                   "progressive ms", "probe verdict"});
+
+  for (Layout layout : {Layout::kSorted, Layout::kRandom}) {
+    Engine engine(HwConfig::ScaledXeon(64));
+    auto db2 = GenerateTpch(tpch);
+    NIPO_CHECK(db2.ok());
+    Prng prng(99);
+    if (layout == Layout::kRandom) {
+      // Destroy fact-dimension co-clustering by shuffling the fact table.
+      NIPO_CHECK(ApplyLayout(db2.ValueOrDie().lineitem.get(), "l_orderkey",
+                             Layout::kRandom, &prng)
+                     .ok());
+    }
+    NIPO_CHECK(
+        engine.RegisterTable(std::move(db2.ValueOrDie().lineitem)).ok());
+    NIPO_CHECK(engine.RegisterTable(std::move(db2.ValueOrDie().orders)).ok());
+    auto orders = engine.GetTable("orders");
+    NIPO_CHECK(orders.ok());
+    QuerySpec query = MakeQuery(orders.ValueOrDie());
+
+    const size_t kVectorSize = 4'096;
+    auto sel_first = engine.ExecuteBaseline(query, kVectorSize,
+                                            std::vector<size_t>{0, 1});
+    auto join_first = engine.ExecuteBaseline(query, kVectorSize,
+                                             std::vector<size_t>{1, 0});
+    ProgressiveConfig config;
+    config.vector_size = kVectorSize;
+    config.reopt_interval = 4;
+    auto prog = engine.ExecuteProgressive(query, config);
+    NIPO_CHECK(sel_first.ok() && join_first.ok() && prog.ok());
+
+    // Ask the sortedness detector directly what it sees for the probe,
+    // using a probe-only diagnostic query so the fact scan's own misses
+    // (one per cache line of the fk column) can be subtracted cleanly.
+    QuerySpec probe_only;
+    probe_only.table = "lineitem";
+    probe_only.ops = {query.ops[1]};
+    auto diag = engine.ExecuteBaseline(probe_only, kVectorSize);
+    NIPO_CHECK(diag.ok());
+    const auto& counters = diag.ValueOrDie().drive.total;
+    const double fact_rows =
+        static_cast<double>(diag.ValueOrDie().drive.input_tuples);
+    const double fk_scan_misses =
+        fact_rows * 4.0 / engine.hw_config().l3.line_size;
+    ProbeObservation obs;
+    obs.relation.num_tuples =
+        static_cast<double>(orders.ValueOrDie()->num_rows());
+    obs.relation.tuple_width = 4.0;
+    obs.num_probes = fact_rows;
+    obs.sampled_l3_misses = std::max(
+        0.0, static_cast<double>(counters.l3_misses) - fk_scan_misses);
+    const SortednessVerdict verdict =
+        JudgeSortedness(engine.hw_config().l3, obs);
+
+    table.AddRow(
+        {std::string(LayoutToString(layout)),
+         FormatDouble(sel_first.ValueOrDie().drive.simulated_msec, 2),
+         FormatDouble(join_first.ValueOrDie().drive.simulated_msec, 2),
+         FormatDouble(prog.ValueOrDie().drive.simulated_msec, 2),
+         verdict.co_clustered ? "co-clustered" : "random"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "On the sorted layout the probe into orders is nearly free, so\n"
+      "join-first wins and the verdict is 'co-clustered'; on the random\n"
+      "layout the probe thrashes L3 and selection-first wins.\n");
+  return 0;
+}

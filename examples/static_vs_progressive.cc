@@ -1,0 +1,105 @@
+/// \file static_vs_progressive.cc
+/// The paper's core argument in one example (Sections 1 and 4.5): a
+/// competent compile-time optimizer working from (possibly stale)
+/// histogram statistics is compared with progressive optimization on a
+/// table whose value distribution drifts mid-way. The static plan is
+/// optimal for the sampled prefix and wrong afterwards; the progressive
+/// run detects the drift from the performance counters and reorders.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/prng.h"
+#include "common/table_printer.h"
+#include "core/report.h"
+#include "optimizer/static_optimizer.h"
+
+using namespace nipo;
+
+int main() {
+  // First 20%: x highly selective under "x < 50" (~5%), y not (~50%).
+  // Remaining 80%: x ~50%, y ~5%. Prefix statistics see only regime one.
+  const size_t kRows = 600'000;
+  Prng prng(11);
+  std::vector<int32_t> x(kRows), y(kRows);
+  std::vector<int64_t> v(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    const bool prefix = i < kRows / 5;
+    x[i] = static_cast<int32_t>(
+        prng.NextBounded(prefix ? 1000 : 100));
+    y[i] = static_cast<int32_t>(
+        prng.NextBounded(prefix ? 100 : 1000));
+    v[i] = 1;
+  }
+  auto table = std::make_unique<Table>("events");
+  NIPO_CHECK(table->AddColumn("x", std::move(x)).ok());
+  NIPO_CHECK(table->AddColumn("y", std::move(y)).ok());
+  NIPO_CHECK(table->AddColumn("v", std::move(v)).ok());
+
+  // Statistics as a real system would have them: built when the first
+  // fifth of the data was loaded.
+  auto stats = TableStatistics::Build(*table, 64, kRows / 5);
+  NIPO_CHECK(stats.ok());
+
+  QuerySpec query;
+  query.table = "events";
+  query.ops = {
+      OperatorSpec::Predicate({"x", CompareOp::kLt, 50.0}),
+      OperatorSpec::Predicate({"y", CompareOp::kLt, 50.0}),
+  };
+  query.payload_columns = {"v"};
+
+  const StaticPlan plan = PlanStatically(query.ops, stats.ValueOrDie());
+  std::printf("static optimizer chose order: %s",
+              FormatOrder(plan.order).c_str());
+  std::printf("  (estimated selectivities:");
+  for (const StaticRanking& r : plan.rankings) {
+    std::printf(" %s=%.2f", query.ops[r.original_index].ToString().c_str(),
+                r.estimated_selectivity);
+  }
+  std::printf(")\n\n");
+
+  Engine engine;
+  NIPO_CHECK(engine.RegisterTable(std::move(table)).ok());
+
+  const size_t kVectorSize = 8'192;
+  auto static_run = engine.ExecuteBaseline(query, kVectorSize, plan.order);
+  NIPO_CHECK(static_run.ok());
+
+  ProgressiveConfig cfg;
+  cfg.vector_size = kVectorSize;
+  cfg.reopt_interval = 4;
+  // Progressive starts from the *same* statically chosen order.
+  auto progressive = engine.ExecuteProgressive(query, cfg, plan.order);
+  NIPO_CHECK(progressive.ok());
+
+  // Oracle: the best fixed order in hindsight.
+  double best_fixed = 1e300;
+  std::vector<size_t> best_order;
+  for (const auto& order : AllOrders(2)) {
+    auto r = engine.ExecuteBaseline(query, kVectorSize, order);
+    NIPO_CHECK(r.ok());
+    if (r.ValueOrDie().drive.simulated_msec < best_fixed) {
+      best_fixed = r.ValueOrDie().drive.simulated_msec;
+      best_order = order;
+    }
+  }
+
+  TablePrinter out("static plan vs progressive on drifting data");
+  out.SetHeader({"strategy", "simulated ms"});
+  out.AddRow({"static plan (stale stats)",
+              FormatDouble(static_run.ValueOrDie().drive.simulated_msec, 2)});
+  out.AddRow({"best fixed order (oracle)", FormatDouble(best_fixed, 2)});
+  out.AddRow({"progressive (from static plan)",
+              FormatDouble(progressive.ValueOrDie().drive.simulated_msec,
+                           2)});
+  out.Print(std::cout);
+
+  PrintProgressiveReport(progressive.ValueOrDie(), "progressive run",
+                         std::cout);
+  std::printf(
+      "\nThe static order was right for the sampled prefix only; the\n"
+      "progressive run switches orders when the counters reveal the\n"
+      "drift, landing near the hindsight-optimal fixed order.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file logging.h
+/// Invariant checking. NIPO_CHECK aborts on violated internal invariants;
+/// it is for programming errors, never for data-dependent conditions
+/// (those return Status).
+
+#define NIPO_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "NIPO_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define NIPO_DCHECK(cond) NIPO_CHECK(cond)

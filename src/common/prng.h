@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file prng.h
+/// Deterministic pseudo-random number generation. Everything in this
+/// repository that needs randomness (data generation, shuffles, start-point
+/// jitter) goes through Prng so that every experiment is reproducible
+/// bit-for-bit from a seed.
+
+namespace nipo {
+
+/// \brief xoshiro256** generator (Blackman & Vigna), seeded via splitmix64.
+///
+/// Small, fast, and of far higher quality than std::minstd; chosen over
+/// std::mt19937 for speed in the data generators, which produce hundreds of
+/// millions of values.
+class Prng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` using splitmix64, which
+  /// guarantees a non-zero, well-mixed state for any seed including 0.
+  explicit Prng(uint64_t seed = 42) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(&x);
+    }
+  }
+
+  /// Next raw 64-bit output.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound) {
+    // 128-bit multiply-high; rejection keeps the result unbiased.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    // 53 high bits -> [0,1) with full double precision.
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9E3779B97f4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace nipo

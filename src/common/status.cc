@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace nipo {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kTypeMismatch:
+      return "Type mismatch";
+    case StatusCode::kCapacityExceeded:
+      return "Capacity exceeded";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) : code_(code) {
+  if (code_ != StatusCode::kOk) {
+    msg_ = std::move(msg);
+  }
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace nipo

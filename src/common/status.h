@@ -1,0 +1,101 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file status.h
+/// Error handling for fallible operations, following the Arrow/RocksDB
+/// Status idiom: functions that can fail return a Status (or Result<T>,
+/// see result.h) instead of throwing exceptions.
+
+namespace nipo {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kTypeMismatch = 7,
+  kCapacityExceeded = 8,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK",
+/// "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus, for errors, a
+/// message describing what went wrong.
+///
+/// The OK state carries no allocation; error states own their message.
+/// Status is cheap to move and to test (`if (!st.ok()) return st;`).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A kOk code with
+  /// a non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string msg);
+
+  /// \name Factory helpers, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  /// @}
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+}  // namespace nipo
+
+/// Propagates an error Status from the current function.
+#define NIPO_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::nipo::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)

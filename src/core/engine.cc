@@ -1,0 +1,96 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nipo {
+
+Engine::Engine(HwConfig hw) : hw_(hw) {}
+
+Status Engine::RegisterTable(std::unique_ptr<Table> table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string name = table->name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<const Table*> Engine::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Engine::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<std::unique_ptr<PipelineExecutor>> Engine::CompileQuery(
+    const QuerySpec& query, Pmu* pmu, InstrumentationMode mode) const {
+  NIPO_ASSIGN_OR_RETURN(const Table* table, GetTable(query.table));
+  return PipelineExecutor::Compile(*table, query.ops, query.payload_columns,
+                                   pmu, mode);
+}
+
+namespace {
+
+Status ApplyOrder(PipelineExecutor* exec,
+                  const std::optional<std::vector<size_t>>& order) {
+  if (!order.has_value()) return Status::OK();
+  return exec->Reorder(*order);
+}
+
+}  // namespace
+
+Result<BaselineReport> Engine::ExecuteBaseline(
+    const QuerySpec& query, size_t vector_size,
+    std::optional<std::vector<size_t>> order) const {
+  if (vector_size == 0) {
+    return Status::InvalidArgument("vector_size must be positive");
+  }
+  Pmu pmu(hw_);
+  NIPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<PipelineExecutor> exec,
+      CompileQuery(query, &pmu, InstrumentationMode::kPmu));
+  NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), order));
+  BaselineReport report;
+  report.order = exec->current_order();
+  report.drive = RunBaseline(exec.get(), vector_size);
+  return report;
+}
+
+Result<ProgressiveReport> Engine::ExecuteProgressive(
+    const QuerySpec& query, const ProgressiveConfig& config,
+    std::optional<std::vector<size_t>> initial_order) const {
+  if (config.vector_size == 0) {
+    return Status::InvalidArgument("vector_size must be positive");
+  }
+  Pmu pmu(hw_);
+  NIPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<PipelineExecutor> exec,
+      CompileQuery(query, &pmu, InstrumentationMode::kPmu));
+  NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), initial_order));
+  ProgressiveOptimizer optimizer(exec.get(), config);
+  return optimizer.Run();
+}
+
+std::vector<std::vector<size_t>> AllOrders(size_t n) {
+  NIPO_CHECK(n <= 8);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<std::vector<size_t>> all;
+  do {
+    all.push_back(order);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return all;
+}
+
+}  // namespace nipo

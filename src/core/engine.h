@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/pmu.h"
+#include "optimizer/progressive.h"
+#include "storage/table.h"
+
+/// \file engine.h
+/// The library's public facade.
+///
+/// An Engine owns a set of registered tables and a simulated-machine
+/// configuration; queries are described by QuerySpec (operator chain +
+/// aggregate payload) and executed either as a fixed-order baseline (the
+/// paper's "common execution pattern") or under progressive optimization.
+/// Each execution runs on a fresh simulated machine (cold caches, neutral
+/// predictor), so results are deterministic and comparable.
+///
+/// Typical use (see examples/quickstart.cc):
+/// \code
+///   nipo::Engine engine;
+///   engine.RegisterTable(std::move(lineitem));
+///   nipo::QuerySpec query;
+///   query.table = "lineitem";
+///   query.ops = nipo::MakeQ6FullPredicates();
+///   query.payload_columns = nipo::Q6PayloadColumns();
+///   auto report = engine.ExecuteProgressive(query, {});
+/// \endcode
+
+namespace nipo {
+
+/// \brief A multi-selection (optionally multi-probe) aggregation query.
+struct QuerySpec {
+  std::string table;
+  /// Operator chain in its *initial* evaluation order.
+  std::vector<OperatorSpec> ops;
+  /// Columns multiplied into the SUM aggregate for qualifying tuples.
+  std::vector<std::string> payload_columns;
+};
+
+/// \brief Baseline (fixed-order) execution result.
+struct BaselineReport {
+  DriveResult drive;
+  std::vector<size_t> order;  ///< the order that was executed
+};
+
+/// \brief Engine: table registry + simulated machine + query entry points.
+class Engine {
+ public:
+  explicit Engine(HwConfig hw = HwConfig::XeonE5_2630v2());
+
+  /// Registers a table; the engine takes ownership. AlreadyExists if the
+  /// name is taken.
+  Status RegisterTable(std::unique_ptr<Table> table);
+
+  /// Look up a registered table.
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  const HwConfig& hw_config() const { return hw_; }
+
+  /// Executes `query` with a fixed evaluation order on a fresh machine.
+  /// `order`, if given, permutes query.ops; otherwise the spec order runs.
+  Result<BaselineReport> ExecuteBaseline(
+      const QuerySpec& query, size_t vector_size,
+      std::optional<std::vector<size_t>> order = std::nullopt) const;
+
+  /// Executes `query` under progressive optimization on a fresh machine.
+  /// `initial_order`, if given, permutes query.ops before the first
+  /// vector (the paper's "initial PEO" degree of freedom).
+  Result<ProgressiveReport> ExecuteProgressive(
+      const QuerySpec& query, const ProgressiveConfig& config,
+      std::optional<std::vector<size_t>> initial_order = std::nullopt) const;
+
+ private:
+  Result<std::unique_ptr<PipelineExecutor>> CompileQuery(
+      const QuerySpec& query, Pmu* pmu, InstrumentationMode mode) const;
+
+  HwConfig hw_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+/// \brief All permutations of {0..n-1} in lexicographic order; the
+/// evaluation enumerates these as the paper's "120 permutations" x-axis.
+/// n is capped at 8 (40320 orders) to bound accidents.
+std::vector<std::vector<size_t>> AllOrders(size_t n);
+
+}  // namespace nipo

@@ -1,0 +1,102 @@
+#include "core/report.h"
+
+#include <ostream>
+
+#include "common/table_printer.h"
+
+namespace nipo {
+
+namespace {
+
+std::vector<std::pair<std::string, uint64_t>> CounterRows(
+    const PmuCounters& c) {
+  return {
+      {"instructions", c.instructions},
+      {"branches", c.branches},
+      {"branches_taken", c.branches_taken},
+      {"branches_not_taken", c.branches_not_taken},
+      {"mispredictions", c.mispredictions},
+      {"taken_mispredictions", c.taken_mispredictions},
+      {"not_taken_mispredictions", c.not_taken_mispredictions},
+      {"l1_accesses", c.l1_accesses},
+      {"l1_misses", c.l1_misses},
+      {"l2_accesses", c.l2_accesses},
+      {"l2_misses", c.l2_misses},
+      {"l3_accesses", c.l3_accesses},
+      {"l3_misses", c.l3_misses},
+      {"prefetch_requests", c.prefetch_requests},
+      {"cycles", c.cycles},
+  };
+}
+
+}  // namespace
+
+void PrintCounters(const PmuCounters& counters, const std::string& title,
+                   std::ostream& out) {
+  TablePrinter table(title);
+  table.SetHeader({"counter", "value"});
+  for (const auto& [name, value] : CounterRows(counters)) {
+    table.AddRow({name, std::to_string(value)});
+  }
+  table.Print(out);
+}
+
+void PrintDriveResult(const DriveResult& drive, const std::string& title,
+                      std::ostream& out) {
+  TablePrinter table(title);
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"input tuples", std::to_string(drive.input_tuples)});
+  table.AddRow({"qualifying tuples",
+                std::to_string(drive.qualifying_tuples)});
+  table.AddRow({"aggregate", FormatDouble(drive.aggregate, 2)});
+  table.AddRow({"vectors", std::to_string(drive.num_vectors)});
+  table.AddRow({"simulated msec", FormatDouble(drive.simulated_msec, 3)});
+  table.AddRow({"cycles", std::to_string(drive.total.cycles)});
+  table.AddRow({"branch mispredictions",
+                std::to_string(drive.total.mispredictions)});
+  table.AddRow({"L3 accesses", std::to_string(drive.total.l3_accesses)});
+  table.Print(out);
+}
+
+std::string FormatOrder(const std::vector<size_t>& order) {
+  std::string out;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(order[i]);
+  }
+  return out;
+}
+
+void PrintProgressiveReport(const ProgressiveReport& report,
+                            const std::string& title, std::ostream& out) {
+  PrintDriveResult(report.drive, title, out);
+  TablePrinter trace(title + " - PEO trace");
+  trace.SetHeader({"vector", "old order", "new order", "flags"});
+  for (const PeoChange& change : report.changes) {
+    std::string flags;
+    if (change.exploration) flags += "exploration ";
+    if (change.reverted) flags += "reverted";
+    trace.AddRow({std::to_string(change.vector_index),
+                  FormatOrder(change.old_order),
+                  FormatOrder(change.new_order), flags});
+  }
+  trace.Print(out);
+  out << "optimizations: " << report.num_optimizations
+      << ", final order: " << FormatOrder(report.final_order) << "\n";
+  if (!report.last_estimate.empty()) {
+    out << "final selectivity estimate:";
+    for (double s : report.last_estimate) {
+      out << " " << FormatDouble(s, 3);
+    }
+    out << "\n";
+  }
+}
+
+void WriteCountersCsv(const PmuCounters& counters, std::ostream& out) {
+  out << "counter,value\n";
+  for (const auto& [name, value] : CounterRows(counters)) {
+    out << name << "," << value << "\n";
+  }
+}
+
+}  // namespace nipo

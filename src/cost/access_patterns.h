@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cache.h"
+
+/// \file access_patterns.h
+/// The generic cost model of Manegold, Boncz and Kersten (VLDB 2002),
+/// which the paper's Section 3.1 builds on: complex database operators
+/// are described as compositions of a small set of *atomic* data access
+/// patterns, and the expected number of sequential and random cache
+/// misses per hierarchy level falls out of the composition rules.
+///
+/// Atomic patterns over a region of U data items of width w:
+///  - s_trav: single sequential traversal (scan),
+///  - s_trav_cond: sequential traversal with conditional reads (the
+///    paper's "sequential scan with conditional read", density rho),
+///  - r_trav: traversal in random order touching every item once,
+///  - rr_acc: r repeated random accesses (hash probes, FK lookups).
+///
+/// Composition:
+///  - Sequential(p1, p2): p1 then p2 (cache state shared, worst-case
+///    independent -> misses add),
+///  - Interleaved(p1, p2): accesses interleave (e.g. scan + probe in one
+///    loop); both compete for capacity, modeled by splitting the
+///    effective capacity proportionally to each pattern's footprint.
+///
+/// Only the L3-level miss estimates feed the progressive optimizer (the
+/// paper samples L3 events), but the model is evaluated per level.
+
+namespace nipo {
+
+/// \brief Expected misses of a pattern at one cache level.
+struct PatternCost {
+  double sequential_misses = 0;
+  double random_misses = 0;
+  double total() const { return sequential_misses + random_misses; }
+};
+
+/// \brief An abstract access pattern evaluated against a cache geometry
+/// with an effective capacity (composition may shrink it).
+class AccessPattern {
+ public:
+  virtual ~AccessPattern() = default;
+
+  /// Expected misses at a level with `effective_capacity_lines` lines of
+  /// `geometry.line_size` bytes available to this pattern.
+  virtual PatternCost Misses(const CacheGeometry& geometry,
+                             double effective_capacity_lines) const = 0;
+
+  /// Bytes the pattern keeps "live" (its footprint for capacity splits).
+  virtual double FootprintBytes() const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// \brief s_trav: sequential traversal of `count` items of `width` bytes.
+class SequentialTraversal : public AccessPattern {
+ public:
+  SequentialTraversal(double count, double width)
+      : count_(count), width_(width) {}
+  PatternCost Misses(const CacheGeometry& geometry,
+                     double effective_capacity_lines) const override;
+  double FootprintBytes() const override;
+  std::string ToString() const override;
+
+ private:
+  double count_, width_;
+};
+
+/// \brief s_trav_cond: sequential traversal touching each item with
+/// probability `density`; random misses are double counted per the
+/// paper's refinement (wasted prefetch + demand fetch).
+class ConditionalTraversal : public AccessPattern {
+ public:
+  ConditionalTraversal(double count, double width, double density)
+      : count_(count), width_(width), density_(density) {}
+  PatternCost Misses(const CacheGeometry& geometry,
+                     double effective_capacity_lines) const override;
+  double FootprintBytes() const override;
+  std::string ToString() const override;
+
+ private:
+  double count_, width_, density_;
+};
+
+/// \brief rr_acc: `accesses` uniform random accesses into a region of
+/// `count` items of `width` bytes (Equation 1 of the paper).
+class RepeatedRandomAccess : public AccessPattern {
+ public:
+  RepeatedRandomAccess(double count, double width, double accesses)
+      : count_(count), width_(width), accesses_(accesses) {}
+  PatternCost Misses(const CacheGeometry& geometry,
+                     double effective_capacity_lines) const override;
+  double FootprintBytes() const override;
+  std::string ToString() const override;
+
+ private:
+  double count_, width_, accesses_;
+};
+
+/// \brief r_trav: every item touched exactly once in random order.
+class RandomTraversal : public AccessPattern {
+ public:
+  RandomTraversal(double count, double width)
+      : count_(count), width_(width) {}
+  PatternCost Misses(const CacheGeometry& geometry,
+                     double effective_capacity_lines) const override;
+  double FootprintBytes() const override;
+  std::string ToString() const override;
+
+ private:
+  double count_, width_;
+};
+
+/// \brief Sequential composition: patterns run one after another; misses
+/// add (worst-case no reuse across phases, the Manegold "+" rule).
+class SequentialComposition : public AccessPattern {
+ public:
+  explicit SequentialComposition(
+      std::vector<std::shared_ptr<AccessPattern>> children)
+      : children_(std::move(children)) {}
+  PatternCost Misses(const CacheGeometry& geometry,
+                     double effective_capacity_lines) const override;
+  double FootprintBytes() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::shared_ptr<AccessPattern>> children_;
+};
+
+/// \brief Interleaved composition: patterns compete for the cache; each
+/// child sees the capacity split proportionally to its footprint (the
+/// Manegold concurrent-execution rule).
+class InterleavedComposition : public AccessPattern {
+ public:
+  explicit InterleavedComposition(
+      std::vector<std::shared_ptr<AccessPattern>> children)
+      : children_(std::move(children)) {}
+  PatternCost Misses(const CacheGeometry& geometry,
+                     double effective_capacity_lines) const override;
+  double FootprintBytes() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::shared_ptr<AccessPattern>> children_;
+};
+
+/// \name Convenience builders.
+/// @{
+std::shared_ptr<AccessPattern> STrav(double count, double width);
+std::shared_ptr<AccessPattern> STravCond(double count, double width,
+                                         double density);
+std::shared_ptr<AccessPattern> RTrav(double count, double width);
+std::shared_ptr<AccessPattern> RRAcc(double count, double width,
+                                     double accesses);
+std::shared_ptr<AccessPattern> Seq(
+    std::vector<std::shared_ptr<AccessPattern>> children);
+std::shared_ptr<AccessPattern> Inter(
+    std::vector<std::shared_ptr<AccessPattern>> children);
+/// @}
+
+/// \brief Evaluates a pattern against a full hierarchy: misses per level
+/// and the total simulated memory cycles under `model`-style latencies.
+struct HierarchyCost {
+  PatternCost l1;
+  PatternCost l2;
+  PatternCost l3;
+};
+HierarchyCost EvaluatePattern(const AccessPattern& pattern,
+                              const CacheGeometry& l1,
+                              const CacheGeometry& l2,
+                              const CacheGeometry& l3);
+
+}  // namespace nipo

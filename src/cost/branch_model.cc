@@ -1,0 +1,45 @@
+#include "cost/branch_model.h"
+
+namespace nipo {
+
+BranchEstimate EstimatePredicateBranches(const PredictorConfig& config,
+                                         double input_tuples, double p) {
+  const BranchProbabilities probs = ComputeBranchProbabilities(config, p);
+  BranchEstimate out;
+  out.branches = input_tuples;
+  out.branches_not_taken = input_tuples * p;        // qualifying tuples
+  out.branches_taken = input_tuples * (1.0 - p);    // failing tuples
+  out.taken_mp = input_tuples * probs.taken_mp;
+  out.not_taken_mp = input_tuples * probs.not_taken_mp;
+  out.mp = input_tuples * probs.mp;
+  return out;
+}
+
+BranchEstimate EstimateScanBranches(const PredictorConfig& config,
+                                    double input_tuples,
+                                    const std::vector<double>& selectivities,
+                                    bool include_loop_branch) {
+  BranchEstimate total;
+  double tuples = input_tuples;
+  for (double p : selectivities) {
+    total += EstimatePredicateBranches(config, tuples, p);
+    tuples *= p;
+  }
+  if (include_loop_branch) {
+    // The back-edge is taken for every tuple; a saturating-counter
+    // predictor predicts it perfectly in steady state (selectivity 0 from
+    // the chain's point of view: never "not taken").
+    BranchEstimate loop;
+    loop.branches = input_tuples;
+    loop.branches_taken = input_tuples;
+    total += loop;
+  }
+  return total;
+}
+
+double QualifyingTuplesFromBranchesTaken(double input_tuples,
+                                         double branches_taken) {
+  return 2.0 * input_tuples - branches_taken;
+}
+
+}  // namespace nipo

@@ -1,0 +1,64 @@
+#include "cost/cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nipo {
+
+ColumnCacheEstimate EstimateColumnCache(const ScanCacheModelConfig& config,
+                                        double num_tuples,
+                                        const ScanColumnSpec& column) {
+  NIPO_CHECK(column.value_width > 0);
+  NIPO_CHECK(config.line_size >= column.value_width);
+  ColumnCacheEstimate out;
+  const double values_per_line =
+      static_cast<double>(config.line_size) / column.value_width;
+  out.lines_total = num_tuples / values_per_line;
+  const double rho = std::clamp(column.access_fraction, 0.0, 1.0);
+  // Probability that a line contains at least one accessed value.
+  const double p_untouched = std::pow(1.0 - rho, values_per_line);
+  const double p_accessed = 1.0 - p_untouched;
+  out.lines_accessed = out.lines_total * p_accessed;
+  // A line is a "random miss" when it is accessed but its predecessor line
+  // was skipped, so the next-line prefetch fired for nothing and the line
+  // itself needs a fresh demand fetch.
+  out.random_lines = out.lines_total * p_accessed * p_untouched;
+  if (config.double_count_random_misses) {
+    out.l3_accesses = out.lines_accessed + out.random_lines;
+  } else {
+    out.l3_accesses = out.lines_accessed;
+  }
+  return out;
+}
+
+double EstimateScanL3Accesses(const ScanCacheModelConfig& config,
+                              double num_tuples,
+                              const std::vector<ScanColumnSpec>& columns) {
+  double total = 0.0;
+  for (const ScanColumnSpec& column : columns) {
+    total += EstimateColumnCache(config, num_tuples, column).l3_accesses;
+  }
+  return total;
+}
+
+std::vector<ScanColumnSpec> BuildScanColumns(
+    const std::vector<double>& selectivities,
+    const std::vector<uint32_t>& predicate_widths,
+    const std::vector<uint32_t>& payload_widths) {
+  NIPO_CHECK(selectivities.size() == predicate_widths.size());
+  std::vector<ScanColumnSpec> columns;
+  columns.reserve(selectivities.size() + payload_widths.size());
+  double rho = 1.0;
+  for (size_t i = 0; i < selectivities.size(); ++i) {
+    columns.push_back(ScanColumnSpec{predicate_widths[i], rho});
+    rho *= std::clamp(selectivities[i], 0.0, 1.0);
+  }
+  for (uint32_t width : payload_widths) {
+    columns.push_back(ScanColumnSpec{width, rho});
+  }
+  return columns;
+}
+
+}  // namespace nipo

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/branch_model.h"
+#include "cost/cache_model.h"
+
+/// \file counter_model.h
+/// Combined prediction of the four performance counters the paper's
+/// learning algorithm exploits (Section 4.2): branches not taken,
+/// mispredicted-taken branches, mispredicted-not-taken branches, and L3
+/// accesses. Given a candidate vector of per-predicate selectivities this
+/// produces the counter values the PMU would report, which the
+/// selectivity estimator compares against the sampled values
+/// (minimization function, Equation 10).
+
+namespace nipo {
+
+/// \brief Static description of the scanned query shape (independent of
+/// the candidate selectivities).
+struct ScanShape {
+  double num_tuples = 0;
+  /// Value width in bytes of each predicate column, in evaluation order.
+  std::vector<uint32_t> predicate_widths;
+  /// Columns read only by fully qualifying tuples (aggregate inputs).
+  std::vector<uint32_t> payload_widths;
+  ScanCacheModelConfig cache;
+  PredictorConfig predictor;
+  bool include_loop_branch = true;
+};
+
+/// \brief The four sampled/predicted counters of Equation 10.
+struct CounterEstimate {
+  double branches_not_taken = 0;
+  double taken_mp = 0;
+  double not_taken_mp = 0;
+  double l3_accesses = 0;
+};
+
+/// \brief Predicts all four counters for `selectivities` (one per
+/// predicate, in evaluation order) over the given shape.
+CounterEstimate PredictCounters(const ScanShape& shape,
+                                const std::vector<double>& selectivities);
+
+/// \brief Relative distance between a sampled counter vector and a
+/// prediction: sum over the four counters of |sampled - predicted| /
+/// max(sampled, 1). This is the implemented form of the paper's
+/// minimization function (Equation 10); the paper prints a sum of signed
+/// differences, which cannot serve as a minimization objective -- the
+/// absolute/relative form is the evident intent (differences of zero in
+/// every counter minimize it).
+double CounterDistance(const CounterEstimate& sampled,
+                       const CounterEstimate& predicted);
+
+}  // namespace nipo

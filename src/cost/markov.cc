@@ -1,0 +1,97 @@
+#include "cost/markov.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nipo {
+
+std::vector<double> MarkovStationaryDistribution(const PredictorConfig& config,
+                                                 double p) {
+  NIPO_CHECK(config.Valid());
+  const int n = config.num_states;
+  std::vector<double> pi(static_cast<size_t>(n), 0.0);
+  p = std::clamp(p, 0.0, 1.0);
+  if (p == 0.0) {
+    pi[static_cast<size_t>(n - 1)] = 1.0;  // every branch taken
+    return pi;
+  }
+  if (p == 1.0) {
+    pi[0] = 1.0;  // every branch not taken
+    return pi;
+  }
+  const double r = (1.0 - p) / p;
+  // pi[i] = r^i / sum_j r^j. Compute in a numerically stable way by
+  // normalizing against the largest term.
+  std::vector<double> weights(static_cast<size_t>(n));
+  double max_log = -1e300;
+  const double log_r = std::log(r);
+  for (int i = 0; i < n; ++i) {
+    const double lw = i * log_r;
+    weights[static_cast<size_t>(i)] = lw;
+    max_log = std::max(max_log, lw);
+  }
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::exp(weights[static_cast<size_t>(i)] - max_log);
+    sum += weights[static_cast<size_t>(i)];
+  }
+  for (int i = 0; i < n; ++i) {
+    pi[static_cast<size_t>(i)] = weights[static_cast<size_t>(i)] / sum;
+  }
+  return pi;
+}
+
+std::vector<double> MarkovStationaryByIteration(const PredictorConfig& config,
+                                                double p, int iterations) {
+  NIPO_CHECK(config.Valid());
+  const int n = config.num_states;
+  p = std::clamp(p, 0.0, 1.0);
+  const double q = 1.0 - p;
+  std::vector<double> pi(static_cast<size_t>(n),
+                         1.0 / static_cast<double>(n));
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double mass = pi[static_cast<size_t>(i)];
+      // Not taken (prob p): move left, saturating at 0.
+      const int left = std::max(0, i - 1);
+      next[static_cast<size_t>(left)] += mass * p;
+      // Taken (prob q): move right, saturating at n-1.
+      const int right = std::min(n - 1, i + 1);
+      next[static_cast<size_t>(right)] += mass * q;
+    }
+    std::swap(pi, next);
+  }
+  return pi;
+}
+
+BranchProbabilities ComputeBranchProbabilities(const PredictorConfig& config,
+                                               double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  const std::vector<double> pi = MarkovStationaryDistribution(config, p);
+  BranchProbabilities out;
+  for (int i = 0; i < config.num_states; ++i) {
+    if (i < config.not_taken_states) {
+      out.predict_not_taken += pi[static_cast<size_t>(i)];
+    } else {
+      out.predict_taken += pi[static_cast<size_t>(i)];
+    }
+  }
+  const double q = 1.0 - p;
+  out.taken_mp = q * out.predict_not_taken;
+  out.taken_rp = q * out.predict_taken;
+  out.not_taken_mp = p * out.predict_taken;
+  out.not_taken_rp = p * out.predict_not_taken;
+  out.mp = out.taken_mp + out.not_taken_mp;
+  out.rp = out.taken_rp + out.not_taken_rp;
+  return out;
+}
+
+double ZeuchMispredictionFraction(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::min(p, 1.0 - p);
+}
+
+}  // namespace nipo

@@ -1,0 +1,148 @@
+#include "exec/hash_aggregate.h"
+
+#include <algorithm>
+
+namespace nipo {
+
+namespace {
+
+struct BoundColumn {
+  const uint8_t* data = nullptr;
+  uint32_t width = 0;
+  DataType type = DataType::kInt32;
+};
+
+Result<BoundColumn> Bind(const Table& table, const std::string& name) {
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* column, table.GetColumn(name));
+  BoundColumn bound;
+  bound.data = static_cast<const uint8_t*>(column->data());
+  bound.width = static_cast<uint32_t>(column->value_width());
+  bound.type = column->type();
+  return bound;
+}
+
+double LoadAsDouble(const BoundColumn& column, size_t row) {
+  const uint8_t* addr = column.data + static_cast<uint64_t>(row) * column.width;
+  switch (column.type) {
+    case DataType::kInt32:
+      return static_cast<double>(*reinterpret_cast<const int32_t*>(addr));
+    case DataType::kInt64:
+      return static_cast<double>(*reinterpret_cast<const int64_t*>(addr));
+    case DataType::kDouble:
+      return *reinterpret_cast<const double*>(addr);
+  }
+  return 0.0;
+}
+
+int64_t LoadAsInt64(const BoundColumn& column, size_t row) {
+  const uint8_t* addr = column.data + static_cast<uint64_t>(row) * column.width;
+  switch (column.type) {
+    case DataType::kInt32:
+      return *reinterpret_cast<const int32_t*>(addr);
+    case DataType::kInt64:
+      return *reinterpret_cast<const int64_t*>(addr);
+    case DataType::kDouble:
+      return static_cast<int64_t>(*reinterpret_cast<const double*>(addr));
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<HashAggregateResult> ExecuteHashAggregate(
+    const HashAggregateSpec& spec, Pmu* pmu) {
+  if (pmu == nullptr) return Status::InvalidArgument("null pmu");
+  if (spec.table == nullptr) return Status::InvalidArgument("null table");
+  NIPO_ASSIGN_OR_RETURN(BoundColumn group_col,
+                        Bind(*spec.table, spec.group_column));
+  if (group_col.type == DataType::kDouble) {
+    return Status::TypeMismatch("group column must be integer");
+  }
+  std::vector<BoundColumn> filter_cols;
+  for (const PredicateSpec& filter : spec.filters) {
+    NIPO_ASSIGN_OR_RETURN(BoundColumn c, Bind(*spec.table, filter.column));
+    filter_cols.push_back(c);
+  }
+  std::vector<BoundColumn> agg_cols;
+  for (const AggregateSpec& agg : spec.aggregates) {
+    NIPO_ASSIGN_OR_RETURN(BoundColumn c, Bind(*spec.table, agg.column));
+    agg_cols.push_back(c);
+  }
+
+  HashAggregateResult result;
+  result.input_rows = spec.table->num_rows();
+
+  // Aggregation state: group key -> dense state index; sums held in
+  // per-aggregate arrays plus a count array. Sized generously; grows on
+  // demand.
+  InstrumentedHashTable groups(64, pmu);
+  std::vector<int64_t> group_keys;  // state index -> group key
+  std::vector<uint64_t> counts;
+  std::vector<std::vector<int64_t>> sums(spec.aggregates.size());
+  // Track branch sites: one per filter position + loop back-edge.
+  const size_t loop_site = spec.filters.size();
+  pmu->EnsureBranchSites(spec.filters.size() + 1);
+
+  for (size_t row = 0; row < spec.table->num_rows(); ++row) {
+    pmu->OnInstructions(1);
+    bool pass = true;
+    for (size_t f = 0; f < spec.filters.size(); ++f) {
+      const BoundColumn& col = filter_cols[f];
+      pmu->OnLoad(col.data + static_cast<uint64_t>(row) * col.width,
+                  col.width);
+      pmu->OnInstructions(1);
+      const bool ok = EvaluateCompare(LoadAsDouble(col, row),
+                                      spec.filters[f].op,
+                                      spec.filters[f].value);
+      pmu->OnBranch(f, !ok);
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      ++result.passed_filter;
+      pmu->OnLoad(group_col.data + static_cast<uint64_t>(row) *
+                                       group_col.width,
+                  group_col.width);
+      const int64_t group = LoadAsInt64(group_col, row);
+      int64_t state_index = 0;
+      if (!groups.Lookup(group, &state_index)) {
+        state_index = static_cast<int64_t>(counts.size());
+        // A growing group table would rehash; with the small group
+        // domains of the workloads here the initial size suffices.
+        NIPO_RETURN_NOT_OK(groups.Insert(group, state_index));
+        group_keys.push_back(group);
+        counts.push_back(0);
+        for (auto& s : sums) s.push_back(0);
+      }
+      ++counts[static_cast<size_t>(state_index)];
+      for (size_t a = 0; a < agg_cols.size(); ++a) {
+        const BoundColumn& col = agg_cols[a];
+        pmu->OnLoad(col.data + static_cast<uint64_t>(row) * col.width,
+                    col.width);
+        pmu->OnInstructions(1);
+        sums[a][static_cast<size_t>(state_index)] += LoadAsInt64(col, row);
+      }
+    }
+    pmu->OnBranch(loop_site, true);
+  }
+
+  // Emit groups sorted by key (result formatting is not measured work).
+  std::map<int64_t, size_t> key_to_state;
+  for (size_t state = 0; state < group_keys.size(); ++state) {
+    key_to_state.emplace(group_keys[state], state);
+  }
+  for (const auto& [group, state_index] : key_to_state) {
+    GroupResult g;
+    g.group = group;
+    g.count = counts[state_index];
+    for (const auto& s : sums) {
+      g.sums.push_back(s[state_index]);
+    }
+    result.groups.push_back(std::move(g));
+  }
+  return result;
+}
+
+}  // namespace nipo

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cost/access_patterns.h"
+#include "exec/hash_table.h"
+#include "storage/table.h"
+
+/// \file hash_join.h
+/// A PMU-instrumented in-memory hash equi-join.
+///
+/// The positional FK probe of the pipeline executor covers the paper's
+/// surrogate-key joins; this operator covers the general case -- the
+/// build side is hashed on an arbitrary key column, the probe side
+/// streams through and looks each key up. Every build insert and probe
+/// lookup flows through the simulated cache hierarchy, so join order
+/// experiments can compare predicted (access-pattern algebra) against
+/// sampled cache behaviour exactly as Sections 5.5-5.6 do for the
+/// positional probes.
+
+namespace nipo {
+
+/// \brief Hash join description. Key columns may be int32 or int64;
+/// values are widened to int64 keys.
+struct HashJoinSpec {
+  const Table* build = nullptr;
+  std::string build_key;
+  /// Build-side payload column summed over matches (optional; empty
+  /// means count matches only).
+  std::string build_payload;
+  const Table* probe = nullptr;
+  std::string probe_key;
+};
+
+/// \brief Join outcome.
+struct HashJoinResult {
+  uint64_t build_rows = 0;
+  uint64_t probe_rows = 0;
+  uint64_t matches = 0;
+  double payload_sum = 0.0;
+  double average_probe_length = 0.0;
+};
+
+/// \brief Executes the join on `pmu`'s simulated machine.
+///
+/// Errors: unknown columns, duplicate build keys (this is a key-FK join),
+/// non-integer key columns.
+Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu);
+
+/// \brief The access-pattern-algebra prediction for this join's probe
+/// phase (Manegold composition: sequential probe-key scan interleaved
+/// with repeated random accesses into the hash-table region), used by
+/// tests and the join-order diagnostics.
+Result<HierarchyCost> PredictHashJoinProbeCost(const HashJoinSpec& spec,
+                                               const HwConfig& hw);
+
+}  // namespace nipo

@@ -1,0 +1,99 @@
+#include "exec/hash_table.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace nipo {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  if (n < 2) return 2;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+InstrumentedHashTable::InstrumentedHashTable(size_t expected_entries,
+                                             Pmu* pmu)
+    : pmu_(pmu) {
+  NIPO_CHECK(pmu_ != nullptr);
+  const size_t capacity = NextPowerOfTwo(expected_entries * 2);
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+  max_size_ = capacity - capacity / 8;  // 7/8 load limit
+}
+
+void InstrumentedHashTable::TouchSlot(size_t index) const {
+  ++slot_touches_;
+  // One hash-or-compare instruction plus the slot load.
+  pmu_->OnInstructions(1);
+  pmu_->OnLoad(&slots_[index], sizeof(Slot));
+}
+
+Status InstrumentedHashTable::Insert(int64_t key, int64_t value) {
+  if (size_ >= max_size_) {
+    return Status::CapacityExceeded("hash table past its load limit");
+  }
+  ++operations_;
+  size_t index = IndexOf(key);
+  while (true) {
+    TouchSlot(index);
+    Slot& slot = slots_[index];
+    if (!slot.occupied) {
+      slot.key = key;
+      slot.value = value;
+      slot.occupied = true;
+      ++size_;
+      return Status::OK();
+    }
+    if (slot.key == key) {
+      return Status::AlreadyExists("duplicate key " + std::to_string(key));
+    }
+    index = (index + 1) & mask_;
+  }
+}
+
+bool InstrumentedHashTable::Lookup(int64_t key, int64_t* value) const {
+  ++operations_;
+  size_t index = IndexOf(key);
+  while (true) {
+    TouchSlot(index);
+    const Slot& slot = slots_[index];
+    if (!slot.occupied) return false;
+    if (slot.key == key) {
+      if (value != nullptr) *value = slot.value;
+      return true;
+    }
+    index = (index + 1) & mask_;
+  }
+}
+
+Status InstrumentedHashTable::Accumulate(int64_t key, int64_t delta,
+                                         int64_t initial) {
+  ++operations_;
+  size_t index = IndexOf(key);
+  while (true) {
+    TouchSlot(index);
+    Slot& slot = slots_[index];
+    if (!slot.occupied) {
+      if (size_ >= max_size_) {
+        return Status::CapacityExceeded("hash table past its load limit");
+      }
+      slot.key = key;
+      slot.value = initial + delta;
+      slot.occupied = true;
+      ++size_;
+      return Status::OK();
+    }
+    if (slot.key == key) {
+      pmu_->OnInstructions(1);  // the add
+      slot.value += delta;
+      return Status::OK();
+    }
+    index = (index + 1) & mask_;
+  }
+}
+
+}  // namespace nipo

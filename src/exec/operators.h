@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+/// \file operators.h
+/// Logical operator descriptions for the vectorized pipeline.
+///
+/// The paper's optimization unit is the *evaluation order* of a chain of
+/// filtering operators over a scan: selection predicates (the predicate
+/// evaluation order, PEO) and foreign-key probe/filter stages (the join
+/// order of Sections 5.5-5.6). Both are described here and compiled by
+/// PipelineExecutor.
+
+namespace nipo {
+
+/// Comparison operator of a predicate.
+enum class CompareOp : int { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// \brief Evaluates `lhs op rhs` on doubles (columns are converted; all
+/// column domains in this repository are exactly representable).
+inline bool EvaluateCompare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+/// \brief A selection predicate `column op value` on the fact table.
+struct PredicateSpec {
+  std::string column;
+  CompareOp op = CompareOp::kLe;
+  double value = 0.0;
+  /// Additional per-evaluation instruction cost, modelling expensive
+  /// predicates / UDFs (Section 5.5 pairs an "expensive selection" with a
+  /// join). 0 for plain comparisons.
+  double extra_instructions = 0.0;
+};
+
+/// \brief A foreign-key probe stage: reads the FK column of the fact
+/// table, loads `filter_column` of the row it points to in `dimension`,
+/// and keeps the tuple iff the dimension value passes `op value`.
+///
+/// The FK values are positional row ids into the dimension table (the
+/// repository's generators emit dense surrogate keys), so the probe is a
+/// direct array access whose locality is exactly the co-clusteredness the
+/// paper's join-order experiments study.
+struct FkProbeSpec {
+  std::string fk_column;           ///< int32 column in the fact table
+  const Table* dimension = nullptr;
+  std::string filter_column;       ///< column probed in the dimension
+  CompareOp op = CompareOp::kLe;
+  double value = 0.0;
+};
+
+/// \brief One stage of the pipeline: either a predicate or an FK probe.
+struct OperatorSpec {
+  enum class Kind { kPredicate, kFkProbe };
+  Kind kind = Kind::kPredicate;
+  PredicateSpec predicate;
+  FkProbeSpec probe;
+
+  static OperatorSpec Predicate(PredicateSpec p) {
+    OperatorSpec op;
+    op.kind = Kind::kPredicate;
+    op.predicate = std::move(p);
+    return op;
+  }
+  static OperatorSpec FkProbe(FkProbeSpec p) {
+    OperatorSpec op;
+    op.kind = Kind::kFkProbe;
+    op.probe = std::move(p);
+    return op;
+  }
+
+  /// Short display name ("l_shipdate<=8400", "probe(orders.o_flag<5)").
+  std::string ToString() const;
+};
+
+/// \brief How the executor exposes per-operator statistics.
+enum class InstrumentationMode : int {
+  /// Non-invasive: only the simulated PMU observes execution (the paper's
+  /// approach).
+  kPmu,
+  /// Invasive: explicit counter variables incremented after every operator
+  /// evaluation (the "enumerator-based" comparison point of Section 5.7).
+  /// Costs extra instructions per evaluation.
+  kEnumerator,
+};
+
+}  // namespace nipo

@@ -1,0 +1,251 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+
+namespace nipo {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+std::string OperatorSpec::ToString() const {
+  std::string out;
+  if (kind == Kind::kPredicate) {
+    out = predicate.column;
+    out += CompareOpToString(predicate.op);
+    out += std::to_string(predicate.value);
+  } else {
+    out = "probe(";
+    out += probe.dimension != nullptr ? probe.dimension->name() : "?";
+    out += ".";
+    out += probe.filter_column;
+    out += CompareOpToString(probe.op);
+    out += std::to_string(probe.value);
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+Status CheckColumn(const Table& table, const std::string& name,
+                   const ColumnBase** out) {
+  auto col = table.GetColumn(name);
+  if (!col.ok()) return col.status();
+  *out = col.ValueOrDie();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Compile(
+    const Table& table, std::vector<OperatorSpec> ops,
+    std::vector<std::string> payload_columns, Pmu* pmu,
+    InstrumentationMode mode) {
+  if (pmu == nullptr) {
+    return Status::InvalidArgument("PipelineExecutor requires a Pmu");
+  }
+  if (ops.empty()) {
+    return Status::InvalidArgument("pipeline needs at least one operator");
+  }
+  auto exec = std::unique_ptr<PipelineExecutor>(new PipelineExecutor());
+  exec->specs_ = std::move(ops);
+  exec->num_rows_ = table.num_rows();
+  exec->pmu_ = pmu;
+  exec->mode_ = mode;
+
+  for (size_t i = 0; i < exec->specs_.size(); ++i) {
+    const OperatorSpec& spec = exec->specs_[i];
+    CompiledOp c;
+    c.kind = spec.kind;
+    c.original_index = i;
+    if (spec.kind == OperatorSpec::Kind::kPredicate) {
+      const ColumnBase* col = nullptr;
+      NIPO_RETURN_NOT_OK(CheckColumn(table, spec.predicate.column, &col));
+      c.data = static_cast<const uint8_t*>(col->data());
+      c.width = static_cast<uint32_t>(col->value_width());
+      c.type = col->type();
+      c.op = spec.predicate.op;
+      c.value = spec.predicate.value;
+      c.extra_instructions = spec.predicate.extra_instructions;
+    } else {
+      if (spec.probe.dimension == nullptr) {
+        return Status::InvalidArgument("FK probe without dimension table");
+      }
+      const ColumnBase* fk = nullptr;
+      NIPO_RETURN_NOT_OK(CheckColumn(table, spec.probe.fk_column, &fk));
+      if (fk->type() != DataType::kInt32) {
+        return Status::TypeMismatch("FK column '" + spec.probe.fk_column +
+                                    "' must be int32 (positional key)");
+      }
+      const ColumnBase* dim = nullptr;
+      NIPO_RETURN_NOT_OK(
+          CheckColumn(*spec.probe.dimension, spec.probe.filter_column, &dim));
+      c.data = static_cast<const uint8_t*>(fk->data());
+      c.width = static_cast<uint32_t>(fk->value_width());
+      c.type = fk->type();
+      c.op = spec.probe.op;
+      c.value = spec.probe.value;
+      c.dim_data = static_cast<const uint8_t*>(dim->data());
+      c.dim_width = static_cast<uint32_t>(dim->value_width());
+      c.dim_type = dim->type();
+      c.dim_rows = dim->size();
+    }
+    exec->all_ops_.push_back(c);
+  }
+
+  for (const std::string& name : payload_columns) {
+    const ColumnBase* col = nullptr;
+    NIPO_RETURN_NOT_OK(CheckColumn(table, name, &col));
+    CompiledPayload p;
+    p.data = static_cast<const uint8_t*>(col->data());
+    p.width = static_cast<uint32_t>(col->value_width());
+    p.type = col->type();
+    exec->payloads_.push_back(p);
+  }
+
+  exec->compiled_ = exec->all_ops_;
+  exec->order_.resize(exec->all_ops_.size());
+  for (size_t i = 0; i < exec->order_.size(); ++i) exec->order_[i] = i;
+  exec->enum_pass_.assign(exec->all_ops_.size(), 0);
+  // One branch site per evaluation position plus the loop back-edge.
+  exec->loop_site_ = exec->all_ops_.size();
+  pmu->EnsureBranchSites(exec->all_ops_.size() + 1);
+  return exec;
+}
+
+double PipelineExecutor::LoadValue(const uint8_t* data, uint32_t width,
+                                   DataType type, size_t row) {
+  const uint8_t* addr = data + static_cast<uint64_t>(row) * width;
+  switch (type) {
+    case DataType::kInt32:
+      return static_cast<double>(
+          *reinterpret_cast<const int32_t*>(addr));
+    case DataType::kInt64:
+      return static_cast<double>(
+          *reinterpret_cast<const int64_t*>(addr));
+    case DataType::kDouble:
+      return *reinterpret_cast<const double*>(addr);
+  }
+  return 0.0;
+}
+
+VectorResult PipelineExecutor::ExecuteRange(size_t begin, size_t end) {
+  NIPO_CHECK(begin <= end && end <= num_rows_);
+  VectorResult result;
+  result.input_tuples = end - begin;
+  const size_t num_ops = compiled_.size();
+  const bool enumerator = mode_ == InstrumentationMode::kEnumerator;
+
+  for (size_t row = begin; row < end; ++row) {
+    pmu_->OnInstructions(
+        static_cast<uint64_t>(LoopCostModel::kLoopInstructions));
+    bool qualifies = true;
+    for (size_t pos = 0; pos < num_ops; ++pos) {
+      const CompiledOp& op = compiled_[pos];
+      bool pass;
+      if (op.kind == OperatorSpec::Kind::kPredicate) {
+        pmu_->OnLoad(op.data + static_cast<uint64_t>(row) * op.width,
+                     op.width);
+        const double v = LoadValue(op.data, op.width, op.type, row);
+        pmu_->OnInstructions(
+            static_cast<uint64_t>(LoopCostModel::kCompareInstructions));
+        if (op.extra_instructions > 0) {
+          pmu_->OnInstructions(static_cast<uint64_t>(op.extra_instructions));
+        }
+        pass = EvaluateCompare(v, op.op, op.value);
+      } else {
+        // FK probe: load the key, then the dimension value it addresses.
+        pmu_->OnLoad(op.data + static_cast<uint64_t>(row) * op.width,
+                     op.width);
+        const double key_value = LoadValue(op.data, op.width, op.type, row);
+        const uint64_t key = static_cast<uint64_t>(key_value);
+        NIPO_CHECK(key < op.dim_rows);
+        pmu_->OnInstructions(
+            static_cast<uint64_t>(LoopCostModel::kProbeAddressInstructions));
+        pmu_->OnLoad(op.dim_data + key * op.dim_width, op.dim_width);
+        const double dim_value =
+            LoadValue(op.dim_data, op.dim_width, op.dim_type, key);
+        pmu_->OnInstructions(
+            static_cast<uint64_t>(LoopCostModel::kCompareInstructions));
+        pass = EvaluateCompare(dim_value, op.op, op.value);
+      }
+      if (enumerator) {
+        // Invasive instrumentation: increment an explicit pass counter
+        // after the evaluation (Section 5.7's enumerator-based approach).
+        pmu_->OnInstructions(
+            static_cast<uint64_t>(LoopCostModel::kEnumeratorInstructions));
+        if (pass) ++enum_pass_[pos];
+      }
+      // Predicate branch: NOT taken when the tuple qualifies.
+      pmu_->OnBranch(pos, /*taken=*/!pass);
+      if (!pass) {
+        qualifies = false;
+        break;
+      }
+    }
+    if (qualifies) {
+      ++result.qualifying_tuples;
+      double product = 1.0;
+      for (const CompiledPayload& payload : payloads_) {
+        pmu_->OnLoad(payload.data + static_cast<uint64_t>(row) * payload.width,
+                     payload.width);
+        product *= LoadValue(payload.data, payload.width, payload.type, row);
+      }
+      if (!payloads_.empty()) {
+        pmu_->OnInstructions(
+            static_cast<uint64_t>(LoopCostModel::kAggregateInstructions));
+        result.aggregate += product;
+      }
+    }
+    // Loop back-edge, taken for every iteration.
+    pmu_->OnBranch(loop_site_, /*taken=*/true);
+  }
+  return result;
+}
+
+Status PipelineExecutor::Reorder(const std::vector<size_t>& order) {
+  if (order.size() != all_ops_.size()) {
+    return Status::InvalidArgument("order size mismatch");
+  }
+  std::vector<bool> seen(all_ops_.size(), false);
+  for (size_t idx : order) {
+    if (idx >= all_ops_.size() || seen[idx]) {
+      return Status::InvalidArgument("order is not a permutation");
+    }
+    seen[idx] = true;
+  }
+  std::vector<CompiledOp> next;
+  next.reserve(all_ops_.size());
+  for (size_t idx : order) next.push_back(all_ops_[idx]);
+  compiled_ = std::move(next);
+  order_ = order;
+  // Positions changed meaning; per-position enumerator counts restart.
+  std::fill(enum_pass_.begin(), enum_pass_.end(), 0);
+  return Status::OK();
+}
+
+const OperatorSpec& PipelineExecutor::OperatorAt(size_t pos) const {
+  NIPO_CHECK(pos < compiled_.size());
+  return specs_[compiled_[pos].original_index];
+}
+
+void PipelineExecutor::ResetEnumeratorCounts() {
+  std::fill(enum_pass_.begin(), enum_pass_.end(), 0);
+}
+
+}  // namespace nipo

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "hw/pmu.h"
+#include "storage/table.h"
+
+/// \file pipeline.h
+/// The vectorized, PMU-instrumented pipeline executor.
+///
+/// This is the "machine code" half of the paper's Section 2.1: a tight
+/// tuple-at-a-time loop over the fact table evaluating a chain of
+/// operators in a configurable order, with one conditional branch per
+/// operator (not taken = tuple qualifies) plus the loop back-edge. Every
+/// dynamic event -- load, compare, branch -- is reported to the simulated
+/// Pmu, which is how the non-invasive counters of the paper arise here.
+///
+/// Reorder() switches to a different evaluation order between vectors,
+/// playing the role of Hyper-style JIT recompilation / Vectorwise-style
+/// primitive rechaining in Section 4.4.
+
+namespace nipo {
+
+/// \brief Result of executing one vector (or any row range).
+struct VectorResult {
+  uint64_t input_tuples = 0;
+  uint64_t qualifying_tuples = 0;
+  /// Sum over qualifying tuples of the product of the payload columns
+  /// (e.g. Q6's sum(l_extendedprice * l_discount)).
+  double aggregate = 0.0;
+};
+
+/// \brief Compiled pipeline over one fact table.
+class PipelineExecutor {
+ public:
+  /// Compiles `ops` (in initial evaluation order) against `table`.
+  /// `payload_columns` are read only for fully qualifying tuples and
+  /// multiplied into the aggregate. Validation errors (unknown columns,
+  /// non-int32 FK columns, null dimension tables, FK values out of range
+  /// are checked at run time) surface as Status.
+  static Result<std::unique_ptr<PipelineExecutor>> Compile(
+      const Table& table, std::vector<OperatorSpec> ops,
+      std::vector<std::string> payload_columns, Pmu* pmu,
+      InstrumentationMode mode = InstrumentationMode::kPmu);
+
+  /// Executes rows [begin, end).
+  VectorResult ExecuteRange(size_t begin, size_t end);
+
+  /// Executes the whole table.
+  VectorResult ExecuteAll() { return ExecuteRange(0, num_rows_); }
+
+  /// Switches the evaluation order. `order` is a permutation of
+  /// [0, num_operators) expressed in *original* operator indices.
+  Status Reorder(const std::vector<size_t>& order);
+
+  /// Current evaluation order as original operator indices.
+  const std::vector<size_t>& current_order() const { return order_; }
+
+  size_t num_operators() const { return compiled_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// The operator currently evaluated at position `pos`.
+  const OperatorSpec& OperatorAt(size_t pos) const;
+
+  /// Enumerator mode only: tuples that passed the operator currently at
+  /// each position, cumulatively since ResetEnumeratorCounts().
+  const std::vector<uint64_t>& enumerator_pass_counts() const {
+    return enum_pass_;
+  }
+  void ResetEnumeratorCounts();
+
+  Pmu* pmu() const { return pmu_; }
+
+ private:
+  struct CompiledOp {
+    OperatorSpec::Kind kind;
+    // Fact-side column.
+    const uint8_t* data = nullptr;
+    uint32_t width = 0;
+    DataType type = DataType::kInt32;
+    CompareOp op = CompareOp::kLe;
+    double value = 0.0;
+    double extra_instructions = 0.0;
+    // FK probe: dimension-side column.
+    const uint8_t* dim_data = nullptr;
+    uint32_t dim_width = 0;
+    DataType dim_type = DataType::kInt32;
+    uint64_t dim_rows = 0;
+    // Original index in the spec list (identifies the operator across
+    // reorders).
+    size_t original_index = 0;
+  };
+  struct CompiledPayload {
+    const uint8_t* data = nullptr;
+    uint32_t width = 0;
+    DataType type = DataType::kDouble;
+  };
+
+  PipelineExecutor() = default;
+
+  static double LoadValue(const uint8_t* data, uint32_t width, DataType type,
+                          size_t row);
+
+  std::vector<OperatorSpec> specs_;       // original order
+  std::vector<CompiledOp> all_ops_;       // original order
+  std::vector<CompiledOp> compiled_;      // current evaluation order
+  std::vector<size_t> order_;             // current order (original indices)
+  std::vector<CompiledPayload> payloads_;
+  std::vector<uint64_t> enum_pass_;
+  size_t num_rows_ = 0;
+  Pmu* pmu_ = nullptr;
+  InstrumentationMode mode_ = InstrumentationMode::kPmu;
+  // Branch sites: position i -> site i, loop back-edge -> site
+  // num_operators().
+  size_t loop_site_ = 0;
+};
+
+/// \brief Instruction-cost constants of the generated loop; shared by the
+/// executor and by documentation/tests that reason about the cycle model.
+struct LoopCostModel {
+  static constexpr double kLoopInstructions = 1.0;   ///< i++ / bounds calc
+  static constexpr double kCompareInstructions = 1.0;
+  static constexpr double kProbeAddressInstructions = 1.0;
+  static constexpr double kAggregateInstructions = 2.0;  ///< mul + add
+  /// Enumerator-based instrumentation: increment + store of the explicit
+  /// counter after every operator evaluation (Section 5.7).
+  static constexpr double kEnumeratorInstructions = 3.0;
+};
+
+}  // namespace nipo

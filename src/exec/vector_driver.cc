@@ -1,0 +1,52 @@
+#include "exec/vector_driver.h"
+
+#include "common/logging.h"
+
+namespace nipo {
+
+VectorDriver::VectorDriver(PipelineExecutor* executor, size_t vector_size)
+    : executor_(executor), vector_size_(vector_size) {
+  NIPO_CHECK(executor_ != nullptr);
+  NIPO_CHECK(vector_size_ > 0);
+}
+
+size_t VectorDriver::num_vectors() const {
+  return (executor_->num_rows() + vector_size_ - 1) / vector_size_;
+}
+
+DriveResult VectorDriver::Run(const VectorHook& hook) {
+  DriveResult out;
+  Pmu* pmu = executor_->pmu();
+  const PmuCounters start = pmu->Read();
+  const size_t rows = executor_->num_rows();
+  size_t vector_index = 0;
+  for (size_t begin = 0; begin < rows; begin += vector_size_) {
+    const size_t end = std::min(begin + vector_size_, rows);
+    PmuCounters before;
+    if (hook) {
+      // Reading the counters around the vector costs a (tiny) fixed
+      // amount, exactly like a PAPI_read pair on real hardware.
+      pmu->ChargeCycles(kCounterReadCycles);
+      before = pmu->Read();
+    }
+    const VectorResult r = executor_->ExecuteRange(begin, end);
+    out.input_tuples += r.input_tuples;
+    out.qualifying_tuples += r.qualifying_tuples;
+    out.aggregate += r.aggregate;
+    if (hook) {
+      pmu->ChargeCycles(kCounterReadCycles);
+      VectorSample sample;
+      sample.vector_index = vector_index;
+      sample.result = r;
+      sample.counters = pmu->Read() - before;
+      hook(sample);
+    }
+    ++vector_index;
+  }
+  out.num_vectors = vector_index;
+  out.total = pmu->Read() - start;
+  out.simulated_msec = pmu->ToMilliseconds(out.total);
+  return out;
+}
+
+}  // namespace nipo

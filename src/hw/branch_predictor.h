@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+/// \file branch_predictor.h
+/// Simulated branch prediction unit.
+///
+/// The paper (Section 3.2) models the CPU's conditional-branch predictor as
+/// an N-state saturating counter, i.e. a birth-death Markov chain: each
+/// observed not-taken outcome moves the state one step toward the
+/// "strongly not taken" end, each taken outcome one step toward "strongly
+/// taken" (Figure 5). States in the lower half predict NOT TAKEN, states in
+/// the upper half predict TAKEN. The paper finds 6 states to fit Intel
+/// micro-architectures (Sandy Bridge through Broadwell) and 4 states to fit
+/// AMD, and also evaluates asymmetric variants with one extra taken (+1T)
+/// or not-taken (+1NT) state (Figure 3).
+///
+/// This module is the *hardware* side of that story: it simulates such a
+/// predictor per static branch site, which is exactly the mechanism whose
+/// stationary behaviour the analytic model in cost/markov.h predicts. The
+/// simulated PMU (pmu.h) uses it to produce the taken/not-taken
+/// misprediction counters the paper samples from silicon.
+
+namespace nipo {
+
+/// \brief Geometry of an N-state saturating-counter predictor.
+struct PredictorConfig {
+  /// Total number of states, >= 2.
+  int num_states = 6;
+  /// Number of states (counting from the "strongly not taken" end) that
+  /// predict NOT TAKEN; the remaining states predict TAKEN.
+  int not_taken_states = 3;
+
+  /// Symmetric N-state predictor (N even).
+  static PredictorConfig Symmetric(int n) {
+    return PredictorConfig{n, n / 2};
+  }
+  /// Odd-state predictor with the extra state on the taken side (+1T):
+  /// e.g. 5 states = 2 not-taken + 3 taken.
+  static PredictorConfig PlusOneTaken(int n) {
+    return PredictorConfig{n, (n - 1) / 2};
+  }
+  /// Odd-state predictor with the extra state on the not-taken side (+1NT):
+  /// e.g. 5 states = 3 not-taken + 2 taken.
+  static PredictorConfig PlusOneNotTaken(int n) {
+    return PredictorConfig{n, (n + 1) / 2};
+  }
+
+  bool Valid() const {
+    return num_states >= 2 && not_taken_states >= 1 &&
+           not_taken_states < num_states;
+  }
+};
+
+/// Outcome classification of one predicted branch.
+struct BranchOutcome {
+  bool taken = false;        ///< actual direction
+  bool mispredicted = false; ///< prediction != actual
+};
+
+/// \brief Saturating-counter predictor state for a set of static branch
+/// sites (a simplified branch history table without aliasing).
+///
+/// Site ids are small dense integers assigned by the executor, one per
+/// conditional branch in the generated scan loop (one per predicate
+/// position plus one loop back-edge).
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(PredictorConfig config = PredictorConfig{})
+      : config_(config) {
+    NIPO_CHECK(config_.Valid());
+  }
+
+  const PredictorConfig& config() const { return config_; }
+
+  /// Ensures state exists for sites [0, num_sites). New sites start in the
+  /// weakest taken-predicting state (CPUs commonly initialize toward
+  /// "weakly taken"; the choice only affects a few warm-up branches).
+  void EnsureSites(size_t num_sites) {
+    states_.resize(num_sites, config_.not_taken_states);
+  }
+
+  size_t num_sites() const { return states_.size(); }
+
+  /// Predicts the branch at `site`, observes the actual direction,
+  /// updates the saturating counter, and reports whether the prediction
+  /// was wrong.
+  BranchOutcome Observe(size_t site, bool taken) {
+    NIPO_DCHECK(site < states_.size());
+    int& state = states_[site];
+    const bool predicted_taken = state >= config_.not_taken_states;
+    BranchOutcome out;
+    out.taken = taken;
+    out.mispredicted = predicted_taken != taken;
+    if (taken) {
+      if (state < config_.num_states - 1) ++state;
+    } else {
+      if (state > 0) --state;
+    }
+    return out;
+  }
+
+  /// Current prediction at `site` without updating.
+  bool PredictsTaken(size_t site) const {
+    NIPO_DCHECK(site < states_.size());
+    return states_[site] >= config_.not_taken_states;
+  }
+
+  /// Raw state, exposed for tests.
+  int state(size_t site) const { return states_[site]; }
+
+  /// Resets all sites to the initial state (models a predictor that lost
+  /// its history, e.g. after JIT-compiling a fresh binary).
+  void Reset() {
+    for (int& s : states_) s = config_.not_taken_states;
+  }
+
+ private:
+  PredictorConfig config_;
+  std::vector<int> states_;
+};
+
+}  // namespace nipo

@@ -1,0 +1,183 @@
+#include "hw/cache.h"
+
+namespace nipo {
+
+std::string_view MemoryLevelToString(MemoryLevel level) {
+  switch (level) {
+    case MemoryLevel::kL1:
+      return "L1";
+    case MemoryLevel::kL2:
+      return "L2";
+    case MemoryLevel::kL3:
+      return "L3";
+    case MemoryLevel::kMemory:
+      return "memory";
+  }
+  return "unknown";
+}
+
+CacheLevel::CacheLevel(CacheGeometry geometry)
+    : geometry_(geometry),
+      num_sets_(geometry.num_sets()),
+      ways_(geometry.associativity) {
+  NIPO_CHECK(geometry_.line_size > 0);
+  NIPO_CHECK(geometry_.associativity > 0);
+  NIPO_CHECK(num_sets_ > 0);
+  slots_.resize(num_sets_ * ways_);
+}
+
+bool CacheLevel::Lookup(uint64_t line_addr) {
+  Way* set = &slots_[SetIndex(line_addr) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].tag == line_addr) {
+      set[w].lru_stamp = ++tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void CacheLevel::Insert(uint64_t line_addr, bool prefetched) {
+  Way* set = &slots_[SetIndex(line_addr) * ways_];
+  Way* victim = &set[0];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].tag == line_addr) {
+      set[w].lru_stamp = ++tick_;
+      return;  // already resident; keep its existing mark
+    }
+    if (set[w].tag == kEmptyTag) {
+      victim = &set[w];
+      break;
+    }
+    if (set[w].lru_stamp < victim->lru_stamp) victim = &set[w];
+  }
+  victim->tag = line_addr;
+  victim->lru_stamp = ++tick_;
+  victim->prefetched = prefetched;
+}
+
+bool CacheLevel::ConsumePrefetchFlag(uint64_t line_addr) {
+  Way* set = &slots_[SetIndex(line_addr) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].tag == line_addr) {
+      const bool was = set[w].prefetched;
+      set[w].prefetched = false;
+      return was;
+    }
+  }
+  return false;
+}
+
+bool CacheLevel::Contains(uint64_t line_addr) const {
+  const Way* set = &slots_[SetIndex(line_addr) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].tag == line_addr) return true;
+  }
+  return false;
+}
+
+void CacheLevel::Clear() {
+  for (Way& w : slots_) w = Way{};
+  tick_ = 0;
+}
+
+CacheStats& CacheStats::operator-=(const CacheStats& other) {
+  l1_accesses -= other.l1_accesses;
+  l1_misses -= other.l1_misses;
+  l2_accesses -= other.l2_accesses;
+  l2_misses -= other.l2_misses;
+  l3_accesses -= other.l3_accesses;
+  l3_misses -= other.l3_misses;
+  prefetch_requests -= other.prefetch_requests;
+  return *this;
+}
+
+CacheStats CacheStats::operator-(const CacheStats& other) const {
+  CacheStats out = *this;
+  out -= other;
+  return out;
+}
+
+CacheHierarchy::CacheHierarchy(CacheGeometry l1, CacheGeometry l2,
+                               CacheGeometry l3, bool enable_prefetcher)
+    : l1_(l1), l2_(l2), l3_(l3), prefetcher_enabled_(enable_prefetcher) {
+  NIPO_CHECK(l1.line_size == l2.line_size && l2.line_size == l3.line_size);
+}
+
+MemoryLevel CacheHierarchy::Access(uint64_t addr, uint32_t width) {
+  const uint32_t line = line_size();
+  const uint64_t first_line = addr / line;
+  const uint64_t last_line = (addr + (width > 0 ? width - 1 : 0)) / line;
+  MemoryLevel deepest = AccessLine(first_line);
+  for (uint64_t l = first_line + 1; l <= last_line; ++l) {
+    AccessLine(l);
+  }
+  return deepest;
+}
+
+MemoryLevel CacheHierarchy::AccessLine(uint64_t line_addr) {
+  return DemandAccess(line_addr);
+}
+
+MemoryLevel CacheHierarchy::DemandAccess(uint64_t line_addr) {
+  ++stats_.l1_accesses;
+  if (l1_.Lookup(line_addr)) {
+    return MemoryLevel::kL1;
+  }
+  ++stats_.l1_misses;
+  ++stats_.l2_accesses;
+  MemoryLevel served;
+  if (l2_.Lookup(line_addr)) {
+    served = MemoryLevel::kL2;
+    // First demand use of a prefetched line: the stream prefetcher keeps
+    // running ahead (stream continuation).
+    if (prefetcher_enabled_ && l2_.ConsumePrefetchFlag(line_addr)) {
+      Prefetch(line_addr + 1);
+    }
+  } else {
+    ++stats_.l2_misses;
+    ++stats_.l3_accesses;
+    if (l3_.Lookup(line_addr)) {
+      served = MemoryLevel::kL3;
+    } else {
+      ++stats_.l3_misses;
+      served = MemoryLevel::kMemory;
+      l3_.Insert(line_addr);
+    }
+    l2_.Insert(line_addr);
+    // L2 demand miss: the next-line prefetcher kicks in (Section 2.2.2 /
+    // 3.1 of the paper: prefetch requests count as L3 accesses).
+    if (prefetcher_enabled_) {
+      Prefetch(line_addr + 1);
+    }
+  }
+  l1_.Insert(line_addr);
+  return served;
+}
+
+void CacheHierarchy::Prefetch(uint64_t line_addr) {
+  if (l2_.Contains(line_addr)) {
+    return;  // already resident; hardware squashes the request
+  }
+  ++stats_.prefetch_requests;
+  ++stats_.l3_accesses;
+  if (!l3_.Lookup(line_addr)) {
+    ++stats_.l3_misses;
+    l3_.Insert(line_addr);
+  }
+  l2_.Insert(line_addr, /*prefetched=*/true);
+}
+
+void CacheHierarchy::Clear() {
+  l1_.Clear();
+  l2_.Clear();
+  l3_.Clear();
+  l1_.ResetStats();
+  l2_.ResetStats();
+  l3_.ResetStats();
+  stats_ = CacheStats{};
+}
+
+}  // namespace nipo

@@ -1,0 +1,140 @@
+#include "hw/pmu.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace nipo {
+
+PmuCounters PmuCounters::operator-(const PmuCounters& other) const {
+  PmuCounters out = *this;
+  out.instructions -= other.instructions;
+  out.branches -= other.branches;
+  out.branches_taken -= other.branches_taken;
+  out.branches_not_taken -= other.branches_not_taken;
+  out.mispredictions -= other.mispredictions;
+  out.taken_mispredictions -= other.taken_mispredictions;
+  out.not_taken_mispredictions -= other.not_taken_mispredictions;
+  out.l1_accesses -= other.l1_accesses;
+  out.l1_misses -= other.l1_misses;
+  out.l2_accesses -= other.l2_accesses;
+  out.l2_misses -= other.l2_misses;
+  out.l3_accesses -= other.l3_accesses;
+  out.l3_misses -= other.l3_misses;
+  out.prefetch_requests -= other.prefetch_requests;
+  out.cycles -= other.cycles;
+  return out;
+}
+
+PmuCounters& PmuCounters::operator+=(const PmuCounters& other) {
+  instructions += other.instructions;
+  branches += other.branches;
+  branches_taken += other.branches_taken;
+  branches_not_taken += other.branches_not_taken;
+  mispredictions += other.mispredictions;
+  taken_mispredictions += other.taken_mispredictions;
+  not_taken_mispredictions += other.not_taken_mispredictions;
+  l1_accesses += other.l1_accesses;
+  l1_misses += other.l1_misses;
+  l2_accesses += other.l2_accesses;
+  l2_misses += other.l2_misses;
+  l3_accesses += other.l3_accesses;
+  l3_misses += other.l3_misses;
+  prefetch_requests += other.prefetch_requests;
+  cycles += other.cycles;
+  return *this;
+}
+
+std::string PmuCounters::ToString() const {
+  std::ostringstream out;
+  out << "instructions=" << instructions << " branches=" << branches
+      << " taken=" << branches_taken << " not_taken=" << branches_not_taken
+      << " mispredictions=" << mispredictions
+      << " (taken=" << taken_mispredictions
+      << ", not_taken=" << not_taken_mispredictions << ")"
+      << " L3_accesses=" << l3_accesses << " L3_misses=" << l3_misses
+      << " cycles=" << cycles;
+  return out.str();
+}
+
+double CycleModel::LoadCycles(MemoryLevel level) const {
+  switch (level) {
+    case MemoryLevel::kL1:
+      return l1_hit_cycles;
+    case MemoryLevel::kL2:
+      return l2_hit_cycles;
+    case MemoryLevel::kL3:
+      return l3_hit_cycles;
+    case MemoryLevel::kMemory:
+      return memory_cycles;
+  }
+  return memory_cycles;
+}
+
+HwConfig HwConfig::XeonE5_2630v2() { return HwConfig{}; }
+
+HwConfig HwConfig::ScaledXeon(uint64_t divisor) {
+  NIPO_CHECK(divisor >= 1);
+  HwConfig cfg;
+  auto scale = [divisor](CacheGeometry g) {
+    g.capacity_bytes /= divisor;
+    // Keep at least one set per way group.
+    const uint64_t min_capacity =
+        static_cast<uint64_t>(g.associativity) * g.line_size;
+    if (g.capacity_bytes < min_capacity) g.capacity_bytes = min_capacity;
+    return g;
+  };
+  cfg.l1 = scale(cfg.l1);
+  cfg.l2 = scale(cfg.l2);
+  cfg.l3 = scale(cfg.l3);
+  return cfg;
+}
+
+HwConfig HwConfig::WithPredictor(PredictorConfig predictor) {
+  HwConfig cfg;
+  cfg.predictor = predictor;
+  return cfg;
+}
+
+Pmu::Pmu(HwConfig config)
+    : config_(config),
+      predictor_(config.predictor),
+      caches_(config.l1, config.l2, config.l3, config.prefetcher) {}
+
+void Pmu::SyncCacheStats(PmuCounters* c) const {
+  const CacheStats delta = caches_.stats() - cache_baseline_;
+  c->l1_accesses = delta.l1_accesses;
+  c->l1_misses = delta.l1_misses;
+  c->l2_accesses = delta.l2_accesses;
+  c->l2_misses = delta.l2_misses;
+  c->l3_accesses = delta.l3_accesses;
+  c->l3_misses = delta.l3_misses;
+  c->prefetch_requests = delta.prefetch_requests;
+}
+
+PmuCounters Pmu::Read() const {
+  PmuCounters out = counters_;
+  SyncCacheStats(&out);
+  out.cycles = static_cast<uint64_t>(std::llround(cycle_acc_));
+  return out;
+}
+
+void Pmu::ResetCounters() {
+  counters_ = PmuCounters{};
+  cycle_acc_ = 0.0;
+  cache_baseline_ = caches_.stats();
+}
+
+void Pmu::ResetMachine() {
+  counters_ = PmuCounters{};
+  cycle_acc_ = 0.0;
+  predictor_.Reset();
+  caches_.Clear();
+  cache_baseline_ = CacheStats{};
+}
+
+double Pmu::ToMilliseconds(const PmuCounters& counters) const {
+  const double cycles_per_msec = config_.cycle_model.frequency_ghz * 1e6;
+  return static_cast<double>(counters.cycles) / cycles_per_msec;
+}
+
+}  // namespace nipo

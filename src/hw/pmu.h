@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hw/branch_predictor.h"
+#include "hw/cache.h"
+
+/// \file pmu.h
+/// Simulated Performance Monitoring Unit.
+///
+/// This is the repository's substitution for the paper's non-invasive
+/// hardware counters (DESIGN.md Section 1): the executor reports its
+/// dynamic events (instructions, loads, conditional branches) to a Pmu,
+/// which drives the simulated branch predictor and cache hierarchy and
+/// accumulates exactly the event vocabulary of the paper's Section 2.2:
+///
+///  - conditional branches, branches taken / not taken,
+///  - mispredictions, split into mispredicted-taken and
+///    mispredicted-not-taken,
+///  - cache accesses and misses per level, with L3 accesses counting
+///    demand plus prefetch requests,
+///  - retired instructions and simulated core cycles.
+///
+/// Sampling follows the PMU programming model: take a Snapshot before and
+/// after a region and subtract, exactly like PAPI_read around a query
+/// vector.
+
+namespace nipo {
+
+/// \brief The counter values visible to the optimizer. All counts are
+/// cumulative since the last Reset(); use Snapshot subtraction for
+/// windowed samples.
+struct PmuCounters {
+  uint64_t instructions = 0;
+  uint64_t branches = 0;            ///< conditional branches executed
+  uint64_t branches_taken = 0;
+  uint64_t branches_not_taken = 0;
+  uint64_t mispredictions = 0;
+  uint64_t taken_mispredictions = 0;      ///< actually taken, predicted NT
+  uint64_t not_taken_mispredictions = 0;  ///< actually not taken, predicted T
+  uint64_t l1_accesses = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_accesses = 0;
+  uint64_t l2_misses = 0;
+  uint64_t l3_accesses = 0;  ///< demand + prefetch requests reaching L3
+  uint64_t l3_misses = 0;
+  uint64_t prefetch_requests = 0;
+  uint64_t cycles = 0;  ///< simulated core cycles (see CycleModel)
+
+  PmuCounters operator-(const PmuCounters& other) const;
+  PmuCounters& operator+=(const PmuCounters& other);
+  std::string ToString() const;
+};
+
+/// \brief Maps micro-events to simulated core cycles.
+///
+/// The constants follow the usual back-of-envelope numbers for the Ivy
+/// Bridge generation the paper evaluates on; only their ratios matter for
+/// reproducing the paper's run-time *shapes* (DESIGN.md Section 1).
+struct CycleModel {
+  double cycles_per_instruction = 0.5;  ///< superscalar issue
+  double branch_cycles = 0.5;           ///< correctly predicted branch
+  double misprediction_penalty = 15.0;  ///< pipeline flush
+  double l1_hit_cycles = 1.0;
+  double l2_hit_cycles = 10.0;
+  double l3_hit_cycles = 30.0;
+  double memory_cycles = 90.0;  ///< effective (bandwidth-amortized) miss cost
+  double frequency_ghz = 2.6;   ///< Xeon E5-2630 v2
+
+  /// Cycle cost of a load served at `level`.
+  double LoadCycles(MemoryLevel level) const;
+};
+
+/// \brief Full description of the simulated machine.
+struct HwConfig {
+  PredictorConfig predictor = PredictorConfig::Symmetric(6);
+  CacheGeometry l1{32 * 1024, 8, 64};
+  CacheGeometry l2{256 * 1024, 8, 64};
+  CacheGeometry l3{15 * 1024 * 1024, 20, 64};
+  bool prefetcher = true;
+  CycleModel cycle_model;
+
+  /// The paper's evaluation machine: Intel Xeon E5-2630 v2 (Ivy Bridge EP),
+  /// 2.6 GHz, 32 KB L1d / 256 KB L2 per core, 15 MB shared L3, 6-state
+  /// predictor behaviour.
+  static HwConfig XeonE5_2630v2();
+
+  /// Same machine with cache capacities divided by `divisor`. The
+  /// experiments shrink both the data set and the caches by the same
+  /// factor, preserving the data-to-cache ratios that the paper's locality
+  /// effects depend on, while keeping simulation time on a laptop budget.
+  static HwConfig ScaledXeon(uint64_t divisor);
+
+  /// Predictor-variant presets used by Figure 6 (micro-architecture
+  /// comparison) and the paper's AMD remark.
+  static HwConfig WithPredictor(PredictorConfig predictor);
+};
+
+/// \brief The simulated PMU: one predictor + one cache hierarchy + cycle
+/// accounting, shared by all operators of a running query.
+class Pmu {
+ public:
+  explicit Pmu(HwConfig config = HwConfig::XeonE5_2630v2());
+
+  const HwConfig& config() const { return config_; }
+
+  /// Registers `n` static branch sites (idempotent growth).
+  void EnsureBranchSites(size_t n) { predictor_.EnsureSites(n); }
+
+  /// Reports `n` retired non-branch, non-load instructions.
+  void OnInstructions(uint64_t n) {
+    counters_.instructions += n;
+    cycle_acc_ += config_.cycle_model.cycles_per_instruction *
+                  static_cast<double>(n);
+  }
+
+  /// Reports one conditional branch at `site` with actual direction
+  /// `taken`; runs the predictor and charges cycles.
+  void OnBranch(size_t site, bool taken) {
+    const BranchOutcome out = predictor_.Observe(site, taken);
+    ++counters_.branches;
+    ++counters_.instructions;
+    if (taken) {
+      ++counters_.branches_taken;
+    } else {
+      ++counters_.branches_not_taken;
+    }
+    double cycles = config_.cycle_model.branch_cycles;
+    if (out.mispredicted) {
+      ++counters_.mispredictions;
+      if (taken) {
+        ++counters_.taken_mispredictions;
+      } else {
+        ++counters_.not_taken_mispredictions;
+      }
+      cycles += config_.cycle_model.misprediction_penalty;
+    }
+    cycle_acc_ += cycles;
+  }
+
+  /// Reports a demand load of `width` bytes at `addr`; runs the cache
+  /// hierarchy and charges cycles for the serving level.
+  MemoryLevel OnLoad(const void* addr, uint32_t width) {
+    return OnLoadAddr(reinterpret_cast<uint64_t>(addr), width);
+  }
+  MemoryLevel OnLoadAddr(uint64_t addr, uint32_t width) {
+    ++counters_.instructions;
+    const MemoryLevel level = caches_.Access(addr, width);
+    cycle_acc_ += config_.cycle_model.LoadCycles(level);
+    return level;
+  }
+
+  /// Charges raw cycles (used to model the cost of reading the counters
+  /// themselves, which the paper shows to be negligible).
+  void ChargeCycles(double cycles) { cycle_acc_ += cycles; }
+
+  /// Reads the current counter values (the PAPI_read equivalent).
+  PmuCounters Read() const;
+
+  /// Clears counters and cycle accumulation; keeps predictor/cache state
+  /// (a real PMU reset does not flush the caches either).
+  void ResetCounters();
+
+  /// Full machine reset: counters, predictor history, cache contents.
+  void ResetMachine();
+
+  /// Simulated wall-clock milliseconds for `counters`.
+  double ToMilliseconds(const PmuCounters& counters) const;
+
+  BranchPredictor& predictor() { return predictor_; }
+  const CacheHierarchy& caches() const { return caches_; }
+
+ private:
+  void SyncCacheStats(PmuCounters* c) const;
+
+  HwConfig config_;
+  BranchPredictor predictor_;
+  CacheHierarchy caches_;
+  PmuCounters counters_;
+  double cycle_acc_ = 0.0;
+  // Cache stats baseline at last ResetCounters(), so counter windows
+  // subtract correctly while the hierarchy keeps warm state.
+  CacheStats cache_baseline_;
+};
+
+}  // namespace nipo

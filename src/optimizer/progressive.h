@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exec/vector_driver.h"
+#include "optimizer/estimator.h"
+#include "optimizer/sortedness.h"
+
+/// \file progressive.h
+/// The progressive optimization driver (paper Section 4.4, Figure 10).
+///
+/// Execution proceeds vector by vector. Every `reopt_interval` vectors the
+/// driver takes the latest counter sample, runs the Section 4.2 learning
+/// algorithm to estimate the selectivity of every operator in the current
+/// evaluation order, ranks the operators (ascending selectivity for plain
+/// predicates; cost-weighted rank when expensive predicates or join
+/// probes participate, with probe cost informed by the Section 5.5-5.6
+/// sortedness detector), and -- if the ranking disagrees with the current
+/// order -- switches the order for subsequent vectors (the JIT-recompile /
+/// primitive-rechain step). The next vector *validates* the switch: if
+/// its cycles-per-tuple deteriorate, the old order is re-established
+/// (Section 4.4's "if they deteriorate, the old order is reestablished").
+
+namespace nipo {
+
+/// \brief Driver configuration.
+struct ProgressiveConfig {
+  size_t vector_size = 65'536;
+  /// Vectors between optimization attempts (the paper's ReopInt; its
+  /// evaluation uses 10, 75 and 200).
+  size_t reopt_interval = 10;
+  EstimatorConfig estimator;
+  /// Validate the vector after a reorder and revert on regression.
+  bool validate_and_revert = true;
+  /// Regression factor on cycles-per-input-tuple that triggers a revert.
+  /// Per-vector costs drift naturally as the scan moves through the data
+  /// (especially on clustered layouts), so the threshold leaves room for
+  /// that drift; genuinely bad orders regress far beyond it.
+  double revert_threshold = 1.15;
+  /// Probe co-clusteredness threshold (Section 5.6).
+  double co_cluster_threshold = 0.5;
+  /// Relative instruction cost assumed per probe evaluation when ranking
+  /// (base; the miss-informed component is added from samples).
+  double probe_base_cost = 2.0;
+  /// Every k-th optimization additionally explores a perturbed order to
+  /// surface correlation effects (Section 4.5); 0 disables exploration.
+  size_t explore_period = 0;
+};
+
+/// \brief One evaluation-order change performed during execution.
+struct PeoChange {
+  size_t vector_index = 0;
+  std::vector<size_t> old_order;
+  std::vector<size_t> new_order;
+  bool reverted = false;      ///< validation rolled it back
+  bool exploration = false;   ///< came from the correlation explorer
+};
+
+/// \brief Outcome of a progressively optimized execution.
+struct ProgressiveReport {
+  DriveResult drive;
+  std::vector<PeoChange> changes;
+  size_t num_optimizations = 0;
+  /// Last selectivity estimate, in the operator order current at that
+  /// time (empty if never optimized).
+  std::vector<double> last_estimate;
+  std::vector<size_t> final_order;
+};
+
+/// \brief Runs a pipeline to completion under progressive optimization.
+class ProgressiveOptimizer {
+ public:
+  ProgressiveOptimizer(PipelineExecutor* executor, ProgressiveConfig config);
+
+  /// Executes the whole table, re-optimizing on the configured cadence.
+  ProgressiveReport Run();
+
+ private:
+  struct PendingValidation {
+    std::vector<size_t> old_order;
+    double old_cycles_per_tuple = 0;
+    bool exploration = false;
+  };
+
+  void HandleVector(const VectorSample& sample);
+  void Optimize(const VectorSample& sample);
+  /// Ranks operators of the current order given estimated selectivities;
+  /// returns the proposed new order in original indices.
+  std::vector<size_t> RankOperators(const VectorSample& sample,
+                                    const std::vector<double>& selectivities);
+  ScanShape CurrentShape(double num_tuples) const;
+
+  PipelineExecutor* executor_;
+  ProgressiveConfig config_;
+  ProgressiveReport report_;
+  std::optional<PendingValidation> pending_;
+  double last_cycles_per_tuple_ = 0;
+  size_t optimization_count_ = 0;
+  bool has_probe_ = false;
+  /// Hysteresis: an order that validation just rolled back is not
+  /// re-proposed for `hysteresis_ttl_` optimization cycles, preventing
+  /// estimate-noise oscillation (propose -> revert -> propose -> ...)
+  /// while still allowing the order back in once conditions change.
+  std::vector<size_t> recently_reverted_;
+  int hysteresis_ttl_ = 0;
+};
+
+/// \brief Convenience: run `executor` without any optimization (the
+/// paper's "common execution pattern" base line), with the same vector
+/// size so run-times are comparable.
+DriveResult RunBaseline(PipelineExecutor* executor, size_t vector_size);
+
+}  // namespace nipo

@@ -1,0 +1,22 @@
+#include "optimizer/sortedness.h"
+
+namespace nipo {
+
+SortednessVerdict JudgeSortedness(const CacheGeometry& l3_geometry,
+                                  const ProbeObservation& observation,
+                                  double threshold) {
+  SortednessVerdict verdict;
+  verdict.predicted_random_misses = ExpectedRandomMisses(
+      observation.relation, l3_geometry, observation.num_probes);
+  if (verdict.predicted_random_misses <= 0) {
+    verdict.score = 0;
+    verdict.co_clustered = true;
+    return verdict;
+  }
+  verdict.score =
+      observation.sampled_l3_misses / verdict.predicted_random_misses;
+  verdict.co_clustered = verdict.score < threshold;
+  return verdict;
+}
+
+}  // namespace nipo

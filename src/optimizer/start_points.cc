@@ -1,0 +1,123 @@
+#include "optimizer/start_points.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nipo {
+
+double StartPointGenerator::Volume(const std::vector<double>& lo,
+                                   const std::vector<double>& hi) {
+  double v = 1.0;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    v *= std::max(0.0, hi[i] - lo[i]);
+  }
+  return v;
+}
+
+StartPointGenerator::StartPointGenerator(std::vector<double> lower,
+                                         std::vector<double> upper,
+                                         std::vector<double> null_hypothesis,
+                                         bool include_vertices)
+    : lower_(std::move(lower)),
+      upper_(std::move(upper)),
+      null_hypothesis_(std::move(null_hypothesis)) {
+  NIPO_CHECK(lower_.size() == upper_.size());
+  NIPO_CHECK(null_hypothesis_.size() == lower_.size());
+  NIPO_CHECK(!lower_.empty());
+  for (size_t i = 0; i < lower_.size(); ++i) {
+    null_hypothesis_[i] =
+        std::clamp(null_hypothesis_[i], lower_[i], upper_[i]);
+  }
+  const size_t d = lower_.size();
+  if (include_vertices && d <= 10) {
+    const size_t count = size_t{1} << d;
+    for (size_t mask = 0; mask < count; ++mask) {
+      std::vector<double> v(d);
+      for (size_t i = 0; i < d; ++i) {
+        v[i] = (mask >> i) & 1 ? upper_[i] : lower_[i];
+      }
+      vertex_queue_.push_back(std::move(v));
+    }
+    // Emit in natural order (front first).
+    std::reverse(vertex_queue_.begin(), vertex_queue_.end());
+  }
+}
+
+void StartPointGenerator::SplitAt(const Box& box,
+                                  const std::vector<double>& point) {
+  const size_t d = lower_.size();
+  const size_t count = size_t{1} << std::min<size_t>(d, 10);
+  for (size_t mask = 0; mask < count; ++mask) {
+    Box child;
+    child.lower.resize(d);
+    child.upper.resize(d);
+    bool degenerate = false;
+    for (size_t i = 0; i < d; ++i) {
+      if ((mask >> i) & 1) {
+        child.lower[i] = point[i];
+        child.upper[i] = box.upper[i];
+      } else {
+        child.lower[i] = box.lower[i];
+        child.upper[i] = point[i];
+      }
+      if (child.upper[i] - child.lower[i] < 1e-12) {
+        degenerate = true;
+        break;
+      }
+    }
+    if (degenerate) continue;
+    child.volume = Volume(child.lower, child.upper);
+    boxes_.push(std::move(child));
+  }
+}
+
+std::vector<double> StartPointGenerator::Next() {
+  ++emitted_;
+  if (!vertex_queue_.empty()) {
+    std::vector<double> v = std::move(vertex_queue_.back());
+    vertex_queue_.pop_back();
+    return v;
+  }
+  if (!null_emitted_) {
+    null_emitted_ = true;
+    Box whole;
+    whole.lower = lower_;
+    whole.upper = upper_;
+    whole.volume = Volume(lower_, upper_);
+    SplitAt(whole, null_hypothesis_);
+    return null_hypothesis_;
+  }
+  if (boxes_.empty()) {
+    // Degenerate box (all dimensions pinned): keep returning the only
+    // feasible point.
+    return null_hypothesis_;
+  }
+  Box biggest = boxes_.top();
+  boxes_.pop();
+  std::vector<double> centroid(lower_.size());
+  for (size_t i = 0; i < centroid.size(); ++i) {
+    centroid[i] = 0.5 * (biggest.lower[i] + biggest.upper[i]);
+  }
+  SplitAt(biggest, centroid);
+  return centroid;
+}
+
+std::vector<double> EvenSplitNullHypothesis(double overall, size_t dims,
+                                            size_t dims_total) {
+  NIPO_CHECK(dims_total >= 1);
+  NIPO_CHECK(dims <= dims_total);
+  overall = std::clamp(overall, 1e-12, 1.0);
+  const double per_predicate =
+      std::pow(overall, 1.0 / static_cast<double>(dims_total));
+  std::vector<double> point(dims);
+  double running = 1.0;
+  for (size_t i = 0; i < dims; ++i) {
+    running *= per_predicate;
+    point[i] = running;
+  }
+  return point;
+}
+
+}  // namespace nipo

@@ -1,0 +1,40 @@
+#include "optimizer/static_optimizer.h"
+
+#include <algorithm>
+
+#include "exec/pipeline.h"
+
+namespace nipo {
+
+StaticPlan PlanStatically(const std::vector<OperatorSpec>& ops,
+                          const TableStatistics& stats,
+                          double probe_selectivity_fallback,
+                          double probe_cost) {
+  StaticPlan plan;
+  plan.rankings.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    StaticRanking r;
+    r.original_index = i;
+    r.estimated_selectivity = stats.EstimateOperatorSelectivity(
+        ops[i], probe_selectivity_fallback);
+    if (ops[i].kind == OperatorSpec::Kind::kPredicate) {
+      r.cost = 1.0 + ops[i].predicate.extra_instructions /
+                         LoopCostModel::kCompareInstructions / 3.0;
+    } else {
+      r.cost = probe_cost;
+    }
+    r.rank = (r.estimated_selectivity - 1.0) / std::max(r.cost, 1e-9);
+    plan.rankings.push_back(r);
+  }
+  std::stable_sort(plan.rankings.begin(), plan.rankings.end(),
+                   [](const StaticRanking& a, const StaticRanking& b) {
+                     return a.rank < b.rank;
+                   });
+  plan.order.reserve(ops.size());
+  for (const StaticRanking& r : plan.rankings) {
+    plan.order.push_back(r.original_index);
+  }
+  return plan;
+}
+
+}  // namespace nipo

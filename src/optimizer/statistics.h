@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "storage/table.h"
+
+/// \file statistics.h
+/// Compile-time column statistics: equi-width histograms, min/max, and a
+/// sampled distinct-count estimate.
+///
+/// These power the *static* optimizer baseline (optimizer/
+/// static_optimizer.h) -- the component whose failure modes (stale
+/// statistics, skew, correlation, parameters unknown at compile time)
+/// motivate the paper's progressive approach. The statistics are honest
+/// single-column summaries: selectivity estimates for conjunctions
+/// multiply per-column selectivities under the independence assumption,
+/// exactly the assumption correlated data breaks (paper Section 4.5).
+
+namespace nipo {
+
+/// \brief Equi-width histogram plus min/max/count for one column.
+class ColumnStatistics {
+ public:
+  /// Builds statistics from every value of `column` (values read as
+  /// doubles). `num_buckets` >= 1.
+  static Result<ColumnStatistics> Build(const ColumnBase& column,
+                                        size_t num_buckets = 64);
+
+  /// Builds from a sampled prefix of `sample_size` values, emulating the
+  /// stale / partial statistics real optimizers operate with.
+  static Result<ColumnStatistics> BuildFromPrefix(const ColumnBase& column,
+                                                  size_t sample_size,
+                                                  size_t num_buckets = 64);
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  uint64_t row_count() const { return row_count_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+
+  /// Estimated selectivity of `value_column op constant` under the
+  /// histogram, with linear interpolation inside the boundary bucket.
+  double EstimateSelectivity(CompareOp op, double constant) const;
+
+  /// Fraction of rows in [lo, hi] (inclusive), interpolated.
+  double EstimateRangeFraction(double lo, double hi) const;
+
+ private:
+  double BucketWidth() const;
+  /// Fraction of rows strictly below `constant`.
+  double FractionBelow(double constant) const;
+
+  double min_ = 0;
+  double max_ = 0;
+  uint64_t row_count_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+/// \brief Statistics for every column of a table.
+class TableStatistics {
+ public:
+  /// Builds statistics for all columns. `sample_size` 0 means exact
+  /// (full-column) statistics; otherwise only a prefix is summarized.
+  static Result<TableStatistics> Build(const Table& table,
+                                       size_t num_buckets = 64,
+                                       size_t sample_size = 0);
+
+  Result<const ColumnStatistics*> ForColumn(const std::string& name) const;
+
+  /// Estimated selectivity of a predicate under the histograms;
+  /// probes / unknown columns fall back to `fallback`.
+  double EstimateOperatorSelectivity(const OperatorSpec& op,
+                                     double fallback = 0.5) const;
+
+  uint64_t row_count() const { return row_count_; }
+
+ private:
+  uint64_t row_count_ = 0;
+  std::vector<std::pair<std::string, ColumnStatistics>> columns_;
+};
+
+}  // namespace nipo

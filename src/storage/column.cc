@@ -1,0 +1,29 @@
+#include "storage/column.h"
+
+namespace nipo {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+  }
+  return "unknown";
+}
+
+size_t DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+  }
+  return 0;
+}
+
+}  // namespace nipo

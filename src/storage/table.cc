@@ -1,0 +1,72 @@
+#include "storage/table.h"
+
+namespace nipo {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += "}";
+  return out;
+}
+
+Status Table::AddColumn(std::unique_ptr<ColumnBase> column) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("null column");
+  }
+  if (index_.count(column->name()) != 0) {
+    return Status::AlreadyExists("column '" + column->name() +
+                                 "' already in table '" + name_ + "'");
+  }
+  if (columns_.empty()) {
+    num_rows_ = column->size();
+  } else if (column->size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column '" + column->name() + "' has " +
+        std::to_string(column->size()) + " rows, table '" + name_ + "' has " +
+        std::to_string(num_rows_));
+  }
+  index_[column->name()] = columns_.size();
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<const ColumnBase*> Table::GetColumn(const std::string& column_name) const {
+  auto it = index_.find(column_name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column '" + column_name + "' in table '" +
+                            name_ + "'");
+  }
+  return static_cast<const ColumnBase*>(columns_[it->second].get());
+}
+
+Result<ColumnBase*> Table::GetMutableColumn(const std::string& column_name) {
+  auto it = index_.find(column_name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column '" + column_name + "' in table '" +
+                            name_ + "'");
+  }
+  return columns_[it->second].get();
+}
+
+Schema Table::schema() const {
+  std::vector<FieldSpec> fields;
+  fields.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    fields.push_back(FieldSpec{col->name(), col->type()});
+  }
+  return Schema(std::move(fields));
+}
+
+}  // namespace nipo

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+
+/// \file table.h
+/// A Table is a named collection of equal-length columns.
+
+namespace nipo {
+
+/// \brief Column metadata as seen by planners: name and type.
+struct FieldSpec {
+  std::string name;
+  DataType type;
+};
+
+/// \brief Ordered list of fields describing a table's layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const FieldSpec& field(size_t i) const { return fields_[i]; }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+/// \brief An in-memory columnar table. All columns have the same length.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds a column. The first column fixes the row count; later columns
+  /// must match it. Column names must be unique within the table.
+  Status AddColumn(std::unique_ptr<ColumnBase> column);
+
+  /// Convenience: builds and adds a typed column from a vector.
+  template <typename T>
+  Status AddColumn(std::string column_name, std::vector<T> values) {
+    return AddColumn(std::make_unique<Column<T>>(std::move(column_name),
+                                                 std::move(values)));
+  }
+
+  /// Column lookup by name; NotFound if absent.
+  Result<const ColumnBase*> GetColumn(const std::string& column_name) const;
+
+  /// Typed column lookup; NotFound / TypeMismatch on failure.
+  template <typename T>
+  Result<const Column<T>*> GetTypedColumn(const std::string& column_name) const {
+    NIPO_ASSIGN_OR_RETURN(const ColumnBase* base, GetColumn(column_name));
+    return AsColumn<T>(base);
+  }
+
+  /// Mutable column access for in-place transforms (shuffles, sorts).
+  Result<ColumnBase*> GetMutableColumn(const std::string& column_name);
+
+  /// Column by position.
+  const ColumnBase* column(size_t i) const { return columns_[i].get(); }
+
+  /// Schema derived from the current columns.
+  Schema schema() const;
+
+ private:
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<std::unique_ptr<ColumnBase>> columns_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace nipo

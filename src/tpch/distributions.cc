@@ -1,0 +1,181 @@
+#include "tpch/distributions.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nipo {
+
+namespace {
+
+template <typename T>
+void PermuteTyped(Column<T>* column, const std::vector<uint32_t>& perm) {
+  const std::vector<T>& old_values = column->mutable_values();
+  std::vector<T> next(old_values.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    next[i] = old_values[perm[i]];
+  }
+  column->mutable_values() = std::move(next);
+}
+
+Status CheckPermutation(const std::vector<uint32_t>& perm, size_t n) {
+  if (perm.size() != n) {
+    return Status::InvalidArgument("permutation size != row count");
+  }
+  std::vector<bool> seen(n, false);
+  for (uint32_t p : perm) {
+    if (p >= n || seen[p]) {
+      return Status::InvalidArgument("not a permutation");
+    }
+    seen[p] = true;
+  }
+  return Status::OK();
+}
+
+/// Reads column value `row` as double for ordering purposes.
+template <typename T>
+double ValueAt(const ColumnBase* col, size_t row) {
+  return static_cast<double>((*static_cast<const Column<T>*>(col))[row]);
+}
+
+double GenericValueAt(const ColumnBase* col, size_t row) {
+  switch (col->type()) {
+    case DataType::kInt32:
+      return ValueAt<int32_t>(col, row);
+    case DataType::kInt64:
+      return ValueAt<int64_t>(col, row);
+    case DataType::kDouble:
+      return ValueAt<double>(col, row);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Status ApplyRowPermutation(Table* table, const std::vector<uint32_t>& perm) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  NIPO_RETURN_NOT_OK(CheckPermutation(perm, table->num_rows()));
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    NIPO_ASSIGN_OR_RETURN(ColumnBase * col,
+                          table->GetMutableColumn(table->column(c)->name()));
+    switch (col->type()) {
+      case DataType::kInt32:
+        PermuteTyped(static_cast<Column<int32_t>*>(col), perm);
+        break;
+      case DataType::kInt64:
+        PermuteTyped(static_cast<Column<int64_t>*>(col), perm);
+        break;
+      case DataType::kDouble:
+        PermuteTyped(static_cast<Column<double>*>(col), perm);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> SortPermutation(const Table& table,
+                                              const std::string& column) {
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* col, table.GetColumn(column));
+  std::vector<uint32_t> perm(table.num_rows());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [col](uint32_t a, uint32_t b) {
+                     return GenericValueAt(col, a) < GenericValueAt(col, b);
+                   });
+  return perm;
+}
+
+Status SortTableBy(Table* table, const std::string& column) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  NIPO_ASSIGN_OR_RETURN(std::vector<uint32_t> perm,
+                        SortPermutation(*table, column));
+  return ApplyRowPermutation(table, perm);
+}
+
+std::vector<uint32_t> RandomPermutation(size_t n, Prng* prng) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = static_cast<size_t>(prng->NextBounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<uint32_t> BoundedKnuthShufflePermutation(size_t n,
+                                                     size_t max_distance,
+                                                     Prng* prng) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  if (max_distance == 0 || n < 2) return perm;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const size_t window = std::min(max_distance, n - 1 - i);
+    const size_t j = i + static_cast<size_t>(prng->NextBounded(window + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+Status SortAndShuffleWithinWindows(Table* table, const std::string& column,
+                                   int64_t window_width, Prng* prng) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (window_width <= 0) {
+    return Status::InvalidArgument("window_width must be positive");
+  }
+  NIPO_ASSIGN_OR_RETURN(std::vector<uint32_t> perm,
+                        SortPermutation(*table, column));
+  NIPO_RETURN_NOT_OK(ApplyRowPermutation(table, perm));
+  // Group consecutive rows whose value falls in the same window of the
+  // value domain, and Fisher-Yates within each group.
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* col, table->GetColumn(column));
+  const size_t n = table->num_rows();
+  std::vector<uint32_t> window_perm(n);
+  std::iota(window_perm.begin(), window_perm.end(), 0u);
+  size_t group_start = 0;
+  auto window_of = [&](size_t row) {
+    return static_cast<int64_t>(GenericValueAt(col, row)) / window_width;
+  };
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || window_of(i) != window_of(group_start)) {
+      // Shuffle [group_start, i).
+      for (size_t k = i - group_start; k > 1; --k) {
+        const size_t j =
+            group_start + static_cast<size_t>(prng->NextBounded(k));
+        std::swap(window_perm[group_start + k - 1], window_perm[j]);
+      }
+      group_start = i;
+    }
+  }
+  return ApplyRowPermutation(table, window_perm);
+}
+
+std::string_view LayoutToString(Layout layout) {
+  switch (layout) {
+    case Layout::kSorted:
+      return "sorted";
+    case Layout::kClustered:
+      return "clustered";
+    case Layout::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+Status ApplyLayout(Table* table, const std::string& column, Layout layout,
+                   Prng* prng) {
+  switch (layout) {
+    case Layout::kSorted:
+      return SortTableBy(table, column);
+    case Layout::kClustered:
+      return SortAndShuffleWithinWindows(table, column, /*window_width=*/30,
+                                         prng);
+    case Layout::kRandom: {
+      if (table == nullptr) return Status::InvalidArgument("null table");
+      const std::vector<uint32_t> perm =
+          RandomPermutation(table->num_rows(), prng);
+      return ApplyRowPermutation(table, perm);
+    }
+  }
+  return Status::InvalidArgument("unknown layout");
+}
+
+}  // namespace nipo

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "storage/table.h"
+
+/// \file distributions.h
+/// Value-distribution transforms for the sortedness experiments (paper
+/// Sections 5.4-5.5): the same logical table laid out sorted, clustered
+/// (bounded Knuth shuffle), or fully random, plus the "shuffle distance"
+/// sweep of Figure 14 (1 tuple .. cache line .. L1 .. L2 .. L3 .. memory).
+///
+/// All transforms permute *whole rows* (every column consistently), so
+/// the relation's content is unchanged -- only its physical order moves.
+
+namespace nipo {
+
+/// \brief Applies `perm` to every column of `table`: row i of the output
+/// is row perm[i] of the input. `perm` must be a permutation of
+/// [0, num_rows).
+Status ApplyRowPermutation(Table* table, const std::vector<uint32_t>& perm);
+
+/// \brief Permutation that sorts the table ascending by `column`
+/// (stable). Works for int32/int64/double columns.
+Result<std::vector<uint32_t>> SortPermutation(const Table& table,
+                                              const std::string& column);
+
+/// \brief Sorts the table in place by `column` (ascending, stable).
+Status SortTableBy(Table* table, const std::string& column);
+
+/// \brief Fisher-Yates permutation of n rows (the "random" data set).
+std::vector<uint32_t> RandomPermutation(size_t n, Prng* prng);
+
+/// \brief Bounded-distance Knuth shuffle: each row i swaps with a uniform
+/// row in [i, min(i + max_distance, n-1)]. max_distance = 0 is the
+/// identity; max_distance >= n-1 degenerates to a full Fisher-Yates
+/// shuffle. This is the Figure 14 "sortiness" knob: a shuffle distance of
+/// one cache line keeps near-perfect locality; a distance beyond L3
+/// behaves like random memory access.
+std::vector<uint32_t> BoundedKnuthShufflePermutation(size_t n,
+                                                     size_t max_distance,
+                                                     Prng* prng);
+
+/// \brief Sorts by `column`, then shuffles rows only *within* groups of
+/// rows whose column values fall in the same window of `window_width`
+/// (e.g. one month of day numbers): the paper's "clustered" data set
+/// (Section 5.4, Figure 13b).
+Status SortAndShuffleWithinWindows(Table* table, const std::string& column,
+                                   int64_t window_width, Prng* prng);
+
+/// \brief The three canonical layouts of Figure 13.
+enum class Layout { kSorted, kClustered, kRandom };
+
+std::string_view LayoutToString(Layout layout);
+
+/// \brief Re-lays out the table on `column` per `layout`. kClustered uses
+/// a 30-day window (a month, as in the paper).
+Status ApplyLayout(Table* table, const std::string& column, Layout layout,
+                   Prng* prng);
+
+}  // namespace nipo

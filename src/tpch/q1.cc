@@ -1,0 +1,85 @@
+#include "tpch/q1.h"
+
+#include <map>
+
+namespace nipo {
+
+int64_t Q1GroupKey(int32_t returnflag, int32_t linestatus) {
+  return static_cast<int64_t>(returnflag) * 2 + linestatus;
+}
+
+std::pair<int32_t, int32_t> Q1DecodeGroup(int64_t group) {
+  return {static_cast<int32_t>(group / 2), static_cast<int32_t>(group % 2)};
+}
+
+Status AddQ1GroupColumn(Table* lineitem) {
+  if (lineitem == nullptr) return Status::InvalidArgument("null table");
+  if (lineitem->GetColumn("l_q1group").ok()) {
+    return Status::OK();  // already materialized
+  }
+  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* flag,
+                        lineitem->GetTypedColumn<int32_t>("l_returnflag"));
+  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* status,
+                        lineitem->GetTypedColumn<int32_t>("l_linestatus"));
+  std::vector<int32_t> group(lineitem->num_rows());
+  for (size_t i = 0; i < group.size(); ++i) {
+    group[i] = static_cast<int32_t>(Q1GroupKey((*flag)[i], (*status)[i]));
+  }
+  return lineitem->AddColumn("l_q1group", std::move(group));
+}
+
+HashAggregateSpec MakeQ1Spec(const Table& lineitem, int32_t delta_days) {
+  HashAggregateSpec spec;
+  spec.table = &lineitem;
+  spec.group_column = "l_q1group";
+  const int32_t cutoff =
+      DateToDayNumber(Date{1998, 12, 1}) - delta_days;
+  spec.filters = {
+      PredicateSpec{"l_shipdate", CompareOp::kLe,
+                    static_cast<double>(cutoff)}};
+  spec.aggregates = {AggregateSpec{"l_quantity"},
+                     AggregateSpec{"l_extendedprice"}};
+  return spec;
+}
+
+Result<HashAggregateResult> ComputeQ1Reference(const Table& lineitem,
+                                               int32_t delta_days) {
+  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* flag,
+                        lineitem.GetTypedColumn<int32_t>("l_returnflag"));
+  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* status,
+                        lineitem.GetTypedColumn<int32_t>("l_linestatus"));
+  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* ship,
+                        lineitem.GetTypedColumn<int32_t>("l_shipdate"));
+  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* quantity,
+                        lineitem.GetTypedColumn<int32_t>("l_quantity"));
+  NIPO_ASSIGN_OR_RETURN(const Column<int64_t>* price,
+                        lineitem.GetTypedColumn<int64_t>("l_extendedprice"));
+  const int32_t cutoff = DateToDayNumber(Date{1998, 12, 1}) - delta_days;
+
+  struct State {
+    uint64_t count = 0;
+    int64_t sum_quantity = 0;
+    int64_t sum_price = 0;
+  };
+  std::map<int64_t, State> groups;
+  HashAggregateResult result;
+  result.input_rows = lineitem.num_rows();
+  for (size_t i = 0; i < lineitem.num_rows(); ++i) {
+    if ((*ship)[i] > cutoff) continue;
+    ++result.passed_filter;
+    State& state = groups[Q1GroupKey((*flag)[i], (*status)[i])];
+    ++state.count;
+    state.sum_quantity += (*quantity)[i];
+    state.sum_price += (*price)[i];
+  }
+  for (const auto& [group, state] : groups) {
+    GroupResult g;
+    g.group = group;
+    g.count = state.count;
+    g.sums = {state.sum_quantity, state.sum_price};
+    result.groups.push_back(std::move(g));
+  }
+  return result;
+}
+
+}  // namespace nipo

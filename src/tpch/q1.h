@@ -1,0 +1,46 @@
+#pragma once
+
+#include "common/date.h"
+#include "exec/hash_aggregate.h"
+#include "storage/table.h"
+
+/// \file q1.h
+/// TPC-H Query 1 (pricing summary report), the canonical scan-aggregate
+/// workload, adapted to this engine's integer encodings:
+///
+///   SELECT l_returnflag, l_linestatus,
+///          sum(l_quantity), sum(l_extendedprice), count(*)
+///   FROM lineitem
+///   WHERE l_shipdate <= DATE '1998-12-01' - 90 days
+///   GROUP BY l_returnflag, l_linestatus
+///
+/// returnflag is encoded A=0 / N=1 / R=2 and linestatus F=0 / O=1; the
+/// group key is returnflag * 2 + linestatus. The canonical parameter
+/// (DELTA = 90) keeps ~95+% of lineitem, making Q1 the high-selectivity
+/// counterpoint to Q6's low-selectivity scans.
+
+namespace nipo {
+
+/// \brief Q1 group key encoding.
+int64_t Q1GroupKey(int32_t returnflag, int32_t linestatus);
+
+/// \brief Decodes a group key back to (returnflag, linestatus).
+std::pair<int32_t, int32_t> Q1DecodeGroup(int64_t group);
+
+/// \brief Builds the Q1 aggregation spec against `lineitem` with the
+/// canonical shipdate cutoff (1998-12-01 minus `delta_days`).
+///
+/// Note: the engine's group column must be materialized; this helper
+/// requires the caller to have added a combined "l_q1group" column via
+/// AddQ1GroupColumn (done once per table).
+HashAggregateSpec MakeQ1Spec(const Table& lineitem, int32_t delta_days = 90);
+
+/// \brief Materializes the combined group column "l_q1group"
+/// (returnflag * 2 + linestatus) on the table if not yet present.
+Status AddQ1GroupColumn(Table* lineitem);
+
+/// \brief Reference evaluation (no PMU) for correctness checks.
+Result<HashAggregateResult> ComputeQ1Reference(const Table& lineitem,
+                                               int32_t delta_days = 90);
+
+}  // namespace nipo

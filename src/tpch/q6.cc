@@ -1,0 +1,142 @@
+#include "tpch/q6.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/date.h"
+
+namespace nipo {
+
+std::vector<OperatorSpec> MakeQ6FullPredicates(int32_t ship_lo_day,
+                                               int32_t ship_hi_day) {
+  std::vector<OperatorSpec> ops;
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_shipdate", CompareOp::kGe,
+                    static_cast<double>(ship_lo_day)}));
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_shipdate", CompareOp::kLt,
+                    static_cast<double>(ship_hi_day)}));
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_discount", CompareOp::kGe, 5.0}));
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_discount", CompareOp::kLe, 7.0}));
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_quantity", CompareOp::kLt, 24.0}));
+  return ops;
+}
+
+std::vector<OperatorSpec> MakeQ6FullPredicates() {
+  return MakeQ6FullPredicates(DateToDayNumber(Date{1994, 1, 1}),
+                              DateToDayNumber(Date{1995, 1, 1}));
+}
+
+std::vector<OperatorSpec> MakeQ6IntroPredicates(int32_t ship_value) {
+  std::vector<OperatorSpec> ops;
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_shipdate", CompareOp::kLe,
+                    static_cast<double>(ship_value)}));
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_quantity", CompareOp::kLt, 24.0}));
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_discount", CompareOp::kGe, 5.0}));
+  ops.push_back(OperatorSpec::Predicate(
+      PredicateSpec{"l_discount", CompareOp::kLe, 7.0}));
+  return ops;
+}
+
+std::vector<std::string> Q6PayloadColumns() {
+  return {"l_extendedprice", "l_discount"};
+}
+
+namespace {
+
+double GenericAt(const ColumnBase* col, size_t row) {
+  switch (col->type()) {
+    case DataType::kInt32:
+      return static_cast<double>(
+          (*static_cast<const Column<int32_t>*>(col))[row]);
+    case DataType::kInt64:
+      return static_cast<double>(
+          (*static_cast<const Column<int64_t>*>(col))[row]);
+    case DataType::kDouble:
+      return (*static_cast<const Column<double>*>(col))[row];
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<Q6Reference> ComputeQ6Reference(const Table& lineitem,
+                                       const std::vector<OperatorSpec>& ops) {
+  // Resolve columns up front.
+  struct Resolved {
+    const ColumnBase* col;
+    CompareOp op;
+    double value;
+  };
+  std::vector<Resolved> preds;
+  for (const OperatorSpec& op : ops) {
+    if (op.kind != OperatorSpec::Kind::kPredicate) {
+      return Status::InvalidArgument(
+          "Q6 reference only evaluates predicates");
+    }
+    NIPO_ASSIGN_OR_RETURN(const ColumnBase* col,
+                          lineitem.GetColumn(op.predicate.column));
+    preds.push_back(Resolved{col, op.predicate.op, op.predicate.value});
+  }
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* price,
+                        lineitem.GetColumn("l_extendedprice"));
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* discount,
+                        lineitem.GetColumn("l_discount"));
+  Q6Reference ref;
+  for (size_t row = 0; row < lineitem.num_rows(); ++row) {
+    bool pass = true;
+    for (const Resolved& p : preds) {
+      if (!EvaluateCompare(GenericAt(p.col, row), p.op, p.value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      ++ref.qualifying;
+      ref.revenue += GenericAt(price, row) * GenericAt(discount, row);
+    }
+  }
+  return ref;
+}
+
+Result<int32_t> ValueForSelectivity(const Table& table,
+                                    const std::string& column,
+                                    double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* col,
+                        table.GetTypedColumn<int32_t>(column));
+  const size_t n = col->size();
+  if (n == 0) return Status::InvalidArgument("empty column");
+  std::vector<int32_t> sorted(col->values().begin(), col->values().end());
+  std::sort(sorted.begin(), sorted.end());
+  if (fraction == 0.0) {
+    return sorted.front() - 1;  // selects nothing
+  }
+  const size_t target =
+      std::min<size_t>(n - 1,
+                       static_cast<size_t>(std::ceil(fraction * n)) - 1);
+  return sorted[target];
+}
+
+Result<double> MeasureSelectivity(const Table& table,
+                                  const std::string& column, CompareOp op,
+                                  double value) {
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* col, table.GetColumn(column));
+  const size_t n = col->size();
+  if (n == 0) return Status::InvalidArgument("empty column");
+  uint64_t pass = 0;
+  for (size_t row = 0; row < n; ++row) {
+    if (EvaluateCompare(GenericAt(col, row), op, value)) ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(n);
+}
+
+}  // namespace nipo

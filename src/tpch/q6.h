@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "storage/table.h"
+
+/// \file q6.h
+/// TPC-H Query 6 as used throughout the paper's evaluation:
+///
+///   SELECT sum(l_extendedprice * l_discount) AS revenue
+///   FROM lineitem
+///   WHERE l_shipdate >= DATE AND l_shipdate < DATE + 1 year
+///     AND l_discount BETWEEN 0.06 - 0.01 AND 0.06 + 0.01
+///     AND l_quantity < 24
+///
+/// Two variants appear in the paper:
+///  - the *full* five-predicate form (both shipdate bounds; 120 = 5!
+///    evaluation orders, Sections 5.2-5.4), and
+///  - the *intro* four-predicate form with a single parameterized
+///    "l_shipdate <= VALUE" bound (24 orders, Figure 1 and the
+///    selectivity sweep of Figure 12).
+///
+/// Discounts are stored as integer hundredths, so "between 0.05 and 0.07"
+/// compiles to 5 <= l_discount <= 7; dates are integer day numbers
+/// (Section 2.1's date-to-timestamp conversion).
+
+namespace nipo {
+
+/// \brief Builds the five-predicate Q6 with shipdate in
+/// [ship_lo_day, ship_hi_day).
+std::vector<OperatorSpec> MakeQ6FullPredicates(int32_t ship_lo_day,
+                                               int32_t ship_hi_day);
+
+/// \brief Canonical full Q6: shipdate in [1994-01-01, 1995-01-01).
+std::vector<OperatorSpec> MakeQ6FullPredicates();
+
+/// \brief Builds the four-predicate intro variant with
+/// "l_shipdate <= ship_value".
+std::vector<OperatorSpec> MakeQ6IntroPredicates(int32_t ship_value);
+
+/// \brief Payload columns of Q6's aggregate
+/// (sum of l_extendedprice * l_discount).
+std::vector<std::string> Q6PayloadColumns();
+
+/// \brief Reference result: evaluates the operator chain directly
+/// (no PMU, no vectorization) -- the executor's correctness oracle.
+struct Q6Reference {
+  uint64_t qualifying = 0;
+  double revenue = 0.0;
+};
+Result<Q6Reference> ComputeQ6Reference(const Table& lineitem,
+                                       const std::vector<OperatorSpec>& ops);
+
+/// \brief The exact value v such that "column <= v" selects the smallest
+/// fraction >= `fraction` of the table (an exact quantile; used by the
+/// selectivity sweeps to dial in shipdate selectivities from 1e-6 to 1).
+Result<int32_t> ValueForSelectivity(const Table& table,
+                                    const std::string& column,
+                                    double fraction);
+
+/// \brief Measures the actual selectivity of "column <= value".
+Result<double> MeasureSelectivity(const Table& table,
+                                  const std::string& column, CompareOp op,
+                                  double value);
+
+}  // namespace nipo

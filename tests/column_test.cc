@@ -1,0 +1,74 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace nipo {
+namespace {
+
+TEST(ColumnTest, TypedConstructionAndAccess) {
+  Column<int32_t> col("c", {1, 2, 3});
+  EXPECT_EQ(col.name(), "c");
+  EXPECT_EQ(col.type(), DataType::kInt32);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0], 1);
+  EXPECT_EQ(col[2], 3);
+  EXPECT_EQ(col.value_width(), 4u);
+}
+
+TEST(ColumnTest, AppendAndResize) {
+  Column<int64_t> col("c");
+  EXPECT_EQ(col.size(), 0u);
+  col.Append(10);
+  col.Append(20);
+  EXPECT_EQ(col.size(), 2u);
+  col.Resize(5);
+  EXPECT_EQ(col.size(), 5u);
+  EXPECT_EQ(col[4], 0);
+}
+
+TEST(ColumnTest, DataPointsAtFirstValue) {
+  Column<double> col("c", {1.5, 2.5});
+  const double* data = static_cast<const double*>(col.data());
+  EXPECT_DOUBLE_EQ(data[0], 1.5);
+  EXPECT_DOUBLE_EQ(data[1], 2.5);
+}
+
+TEST(ColumnTest, SpanViewReflectsValues) {
+  Column<int32_t> col("c", {7, 8});
+  auto span = col.values();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[1], 8);
+}
+
+TEST(DataTypeTest, WidthsAndNames) {
+  EXPECT_EQ(DataTypeWidth(DataType::kInt32), 4u);
+  EXPECT_EQ(DataTypeWidth(DataType::kInt64), 8u);
+  EXPECT_EQ(DataTypeWidth(DataType::kDouble), 8u);
+  EXPECT_EQ(DataTypeToString(DataType::kInt32), "int32");
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeToString(DataType::kDouble), "double");
+}
+
+TEST(AsColumnTest, CorrectTypeDowncasts) {
+  Column<int32_t> col("c", {1});
+  const ColumnBase* base = &col;
+  auto typed = AsColumn<int32_t>(base);
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ((*typed.ValueOrDie())[0], 1);
+}
+
+TEST(AsColumnTest, WrongTypeFails) {
+  Column<int32_t> col("c", {1});
+  auto typed = AsColumn<double>(&col);
+  EXPECT_FALSE(typed.ok());
+  EXPECT_EQ(typed.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(AsColumnTest, NullColumnFails) {
+  auto typed = AsColumn<int32_t>(nullptr);
+  EXPECT_FALSE(typed.ok());
+  EXPECT_EQ(typed.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nipo

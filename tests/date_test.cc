@@ -1,0 +1,87 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace nipo {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(DateToDayNumber(Date{1970, 1, 1}), 0);
+  EXPECT_EQ(DayNumberToDate(0), (Date{1970, 1, 1}));
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DateToDayNumber(Date{1970, 1, 2}), 1);
+  EXPECT_EQ(DateToDayNumber(Date{1969, 12, 31}), -1);
+  EXPECT_EQ(DateToDayNumber(Date{2000, 1, 1}), 10957);
+  EXPECT_EQ(DateToDayNumber(Date{1992, 1, 1}), 8035);
+}
+
+TEST(DateTest, RoundTripsOverTpchWindowAndBeyond) {
+  // Every single day from 1960 to 2030 must round-trip.
+  const DayNumber lo = DateToDayNumber(Date{1960, 1, 1});
+  const DayNumber hi = DateToDayNumber(Date{2030, 12, 31});
+  Date prev = DayNumberToDate(lo);
+  for (DayNumber d = lo + 1; d <= hi; ++d) {
+    const Date date = DayNumberToDate(d);
+    EXPECT_EQ(DateToDayNumber(date), d);
+    // Consecutive day numbers yield strictly advancing dates.
+    EXPECT_TRUE(date.year > prev.year ||
+                (date.year == prev.year &&
+                 (date.month > prev.month ||
+                  (date.month == prev.month && date.day == prev.day + 1))));
+    prev = date;
+  }
+}
+
+TEST(DateTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(1992));
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(1995));
+  EXPECT_EQ(DaysInMonth(1992, 2), 29);
+  EXPECT_EQ(DaysInMonth(1995, 2), 28);
+  EXPECT_EQ(DaysInMonth(1995, 12), 31);
+  EXPECT_EQ(DaysInMonth(1995, 4), 30);
+}
+
+TEST(DateTest, ParseValid) {
+  auto r = ParseDate("1994-02-28");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), (Date{1994, 2, 28}));
+  EXPECT_TRUE(ParseDate("1992-02-29").ok());  // leap day
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("1994-13-01").ok());
+  EXPECT_FALSE(ParseDate("1994-00-01").ok());
+  EXPECT_FALSE(ParseDate("1994-02-30").ok());
+  EXPECT_FALSE(ParseDate("1995-02-29").ok());  // not a leap year
+  EXPECT_FALSE(ParseDate("1994-02").ok());
+  EXPECT_FALSE(ParseDate("1994-02-28x").ok());
+}
+
+TEST(DateTest, FormatPadsFields) {
+  EXPECT_EQ(FormatDate(Date{1994, 2, 3}), "1994-02-03");
+  EXPECT_EQ(FormatDate(Date{1998, 12, 31}), "1998-12-31");
+}
+
+TEST(DateTest, ParseFormatRoundTrip) {
+  for (const char* text : {"1992-01-01", "1994-06-17", "1998-12-31"}) {
+    auto parsed = ParseDate(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(FormatDate(parsed.ValueOrDie()), text);
+  }
+}
+
+TEST(DateTest, TpchWindow) {
+  EXPECT_EQ(DayNumberToDate(TpchStartDay()), (Date{1992, 1, 1}));
+  EXPECT_EQ(DayNumberToDate(TpchEndDay()), (Date{1998, 12, 31}));
+  EXPECT_LT(TpchStartDay(), TpchEndDay());
+  // The canonical 7-year window spans 2557 days.
+  EXPECT_EQ(TpchEndDay() - TpchStartDay(), 2556);
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,192 @@
+#include "tpch/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace nipo {
+namespace {
+
+Table MakeTable(size_t n, uint64_t seed = 1) {
+  Prng prng(seed);
+  std::vector<int32_t> key(n), other(n);
+  for (size_t i = 0; i < n; ++i) {
+    key[i] = static_cast<int32_t>(prng.NextBounded(1000));
+    other[i] = static_cast<int32_t>(i);
+  }
+  Table t("t");
+  EXPECT_TRUE(t.AddColumn("key", std::move(key)).ok());
+  EXPECT_TRUE(t.AddColumn("row_id", std::move(other)).ok());
+  return t;
+}
+
+bool IsSortedBy(const Table& t, const std::string& col) {
+  const auto& c = *t.GetTypedColumn<int32_t>(col).ValueOrDie();
+  for (size_t i = 1; i < c.size(); ++i) {
+    if (c[i - 1] > c[i]) return false;
+  }
+  return true;
+}
+
+/// Rows stay consistent: row_id r must still carry the key it was born
+/// with (key was derived from seed; we recompute).
+void ExpectRowsIntact(const Table& t, uint64_t seed = 1) {
+  Prng prng(seed);
+  std::vector<int32_t> original_key(t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    original_key[i] = static_cast<int32_t>(prng.NextBounded(1000));
+  }
+  const auto& key = *t.GetTypedColumn<int32_t>("key").ValueOrDie();
+  const auto& row_id = *t.GetTypedColumn<int32_t>("row_id").ValueOrDie();
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    ASSERT_EQ(key[i], original_key[static_cast<size_t>(row_id[i])]);
+  }
+}
+
+TEST(DistributionsTest, ApplyRowPermutationMovesWholeRows) {
+  Table t = MakeTable(4);
+  ASSERT_TRUE(ApplyRowPermutation(&t, {3, 2, 1, 0}).ok());
+  const auto& row_id = *t.GetTypedColumn<int32_t>("row_id").ValueOrDie();
+  EXPECT_EQ(row_id[0], 3);
+  EXPECT_EQ(row_id[3], 0);
+  ExpectRowsIntact(t);
+}
+
+TEST(DistributionsTest, RejectsBadPermutations) {
+  Table t = MakeTable(3);
+  EXPECT_FALSE(ApplyRowPermutation(&t, {0, 1}).ok());        // wrong size
+  EXPECT_FALSE(ApplyRowPermutation(&t, {0, 1, 1}).ok());     // duplicate
+  EXPECT_FALSE(ApplyRowPermutation(&t, {0, 1, 5}).ok());     // out of range
+  EXPECT_FALSE(ApplyRowPermutation(nullptr, {0, 1, 2}).ok());
+}
+
+TEST(DistributionsTest, SortTableBy) {
+  Table t = MakeTable(500);
+  ASSERT_TRUE(SortTableBy(&t, "key").ok());
+  EXPECT_TRUE(IsSortedBy(t, "key"));
+  ExpectRowsIntact(t);
+}
+
+TEST(DistributionsTest, SortIsStable) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<int32_t>("key", {1, 0, 1, 0}).ok());
+  ASSERT_TRUE(t.AddColumn<int32_t>("row_id", {0, 1, 2, 3}).ok());
+  ASSERT_TRUE(SortTableBy(&t, "key").ok());
+  const auto& row_id = *t.GetTypedColumn<int32_t>("row_id").ValueOrDie();
+  EXPECT_EQ(row_id[0], 1);
+  EXPECT_EQ(row_id[1], 3);
+  EXPECT_EQ(row_id[2], 0);
+  EXPECT_EQ(row_id[3], 2);
+}
+
+TEST(DistributionsTest, RandomPermutationIsPermutation) {
+  Prng prng(9);
+  const auto perm = RandomPermutation(1000, &prng);
+  std::vector<uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(sorted[i], i);
+  // And it actually moved things.
+  size_t moved = 0;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    if (perm[i] != i) ++moved;
+  }
+  EXPECT_GT(moved, 900u);
+}
+
+TEST(DistributionsTest, BoundedShuffleZeroDistanceIsIdentity) {
+  Prng prng(9);
+  const auto perm = BoundedKnuthShufflePermutation(100, 0, &prng);
+  for (uint32_t i = 0; i < 100; ++i) ASSERT_EQ(perm[i], i);
+}
+
+TEST(DistributionsTest, BoundedShuffleRespectsDistance) {
+  Prng prng(9);
+  const size_t kDistance = 8;
+  const auto perm = BoundedKnuthShufflePermutation(2000, kDistance, &prng);
+  std::vector<uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 2000; ++i) ASSERT_EQ(sorted[i], i);
+  // A single bounded pass can chain swaps, so individual displacements
+  // may exceed the window, but large multiples are exponentially rare and
+  // the average displacement stays on the order of the window.
+  double total_disp = 0;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    const int64_t disp = std::abs(static_cast<int64_t>(perm[i]) -
+                                  static_cast<int64_t>(i));
+    ASSERT_LE(disp, static_cast<int64_t>(16 * kDistance)) << "i=" << i;
+    total_disp += static_cast<double>(disp);
+  }
+  const double avg = total_disp / static_cast<double>(perm.size());
+  EXPECT_GT(avg, static_cast<double>(kDistance) / 4.0);
+  EXPECT_LT(avg, static_cast<double>(kDistance) * 2.0);
+}
+
+TEST(DistributionsTest, BoundedShuffleDisplacementGrowsWithDistance) {
+  Prng prng(11);
+  auto displacement = [&](size_t distance) {
+    Prng local(11);
+    const auto perm = BoundedKnuthShufflePermutation(5000, distance, &local);
+    double total = 0;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      total += std::abs(static_cast<double>(perm[i]) -
+                        static_cast<double>(i));
+    }
+    return total / static_cast<double>(perm.size());
+  };
+  EXPECT_LT(displacement(2), displacement(32));
+  EXPECT_LT(displacement(32), displacement(1024));
+}
+
+TEST(DistributionsTest, WindowShuffleKeepsValuesInWindows) {
+  Table t = MakeTable(2000, 3);
+  Prng prng(5);
+  ASSERT_TRUE(SortAndShuffleWithinWindows(&t, "key", 100, &prng).ok());
+  const auto& key = *t.GetTypedColumn<int32_t>("key").ValueOrDie();
+  // Window ids must be non-decreasing even though rows inside each window
+  // are shuffled.
+  for (size_t i = 1; i < key.size(); ++i) {
+    ASSERT_LE(key[i - 1] / 100, key[i] / 100);
+  }
+  ExpectRowsIntact(t, 3);
+  // And within windows, order was actually disturbed somewhere.
+  EXPECT_FALSE(IsSortedBy(t, "row_id"));
+}
+
+TEST(DistributionsTest, WindowShuffleRejectsBadWindow) {
+  Table t = MakeTable(10);
+  Prng prng(5);
+  EXPECT_FALSE(SortAndShuffleWithinWindows(&t, "key", 0, &prng).ok());
+  EXPECT_FALSE(SortAndShuffleWithinWindows(nullptr, "key", 10, &prng).ok());
+}
+
+TEST(DistributionsTest, ApplyLayoutSorted) {
+  Table t = MakeTable(300);
+  Prng prng(7);
+  ASSERT_TRUE(ApplyLayout(&t, "key", Layout::kSorted, &prng).ok());
+  EXPECT_TRUE(IsSortedBy(t, "key"));
+}
+
+TEST(DistributionsTest, ApplyLayoutRandomDestroysOrder) {
+  Table t = MakeTable(300);
+  Prng prng(7);
+  ASSERT_TRUE(SortTableBy(&t, "key").ok());
+  ASSERT_TRUE(ApplyLayout(&t, "key", Layout::kRandom, &prng).ok());
+  EXPECT_FALSE(IsSortedBy(t, "key"));
+  ExpectRowsIntact(t);
+}
+
+TEST(DistributionsTest, LayoutNames) {
+  EXPECT_EQ(LayoutToString(Layout::kSorted), "sorted");
+  EXPECT_EQ(LayoutToString(Layout::kClustered), "clustered");
+  EXPECT_EQ(LayoutToString(Layout::kRandom), "random");
+}
+
+TEST(DistributionsTest, SortPermutationHandlesUnknownColumn) {
+  Table t = MakeTable(10);
+  EXPECT_EQ(SortPermutation(t, "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,139 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace nipo {
+namespace {
+
+std::unique_ptr<Table> MakeTable(const std::string& name, size_t n) {
+  Prng prng(1);
+  std::vector<int32_t> a(n), b(n);
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(prng.NextBounded(100));
+    b[i] = static_cast<int32_t>(prng.NextBounded(100));
+    v[i] = 1;
+  }
+  auto t = std::make_unique<Table>(name);
+  EXPECT_TRUE(t->AddColumn("a", std::move(a)).ok());
+  EXPECT_TRUE(t->AddColumn("b", std::move(b)).ok());
+  EXPECT_TRUE(t->AddColumn("v", std::move(v)).ok());
+  return t;
+}
+
+QuerySpec MakeQuery() {
+  QuerySpec q;
+  q.table = "t";
+  q.ops = {OperatorSpec::Predicate({"a", CompareOp::kLt, 50.0}),
+           OperatorSpec::Predicate({"b", CompareOp::kLt, 10.0})};
+  q.payload_columns = {"v"};
+  return q;
+}
+
+TEST(EngineTest, RegisterAndLookup) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable(MakeTable("t", 100)).ok());
+  EXPECT_TRUE(engine.GetTable("t").ok());
+  EXPECT_EQ(engine.GetTable("zzz").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(engine.GetMutableTable("t").ok());
+  EXPECT_EQ(engine.RegisterTable(MakeTable("t", 5)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.RegisterTable(nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, BaselineExecutesSpecOrder) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable(MakeTable("t", 50'000)).ok());
+  auto r = engine.ExecuteBaseline(MakeQuery(), 4'096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().order, (std::vector<size_t>{0, 1}));
+  EXPECT_GT(r.ValueOrDie().drive.qualifying_tuples, 0u);
+  // aggregate counts qualifying rows since v == 1.
+  EXPECT_DOUBLE_EQ(
+      r.ValueOrDie().drive.aggregate,
+      static_cast<double>(r.ValueOrDie().drive.qualifying_tuples));
+}
+
+TEST(EngineTest, BaselineHonorsExplicitOrder) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable(MakeTable("t", 50'000)).ok());
+  auto r = engine.ExecuteBaseline(MakeQuery(), 4'096,
+                                  std::vector<size_t>{1, 0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().order, (std::vector<size_t>{1, 0}));
+}
+
+TEST(EngineTest, BaselineIsDeterministic) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable(MakeTable("t", 50'000)).ok());
+  auto a = engine.ExecuteBaseline(MakeQuery(), 4'096);
+  auto b = engine.ExecuteBaseline(MakeQuery(), 4'096);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.ValueOrDie().drive.total.cycles,
+            b.ValueOrDie().drive.total.cycles);
+  EXPECT_EQ(a.ValueOrDie().drive.total.l3_accesses,
+            b.ValueOrDie().drive.total.l3_accesses);
+}
+
+TEST(EngineTest, ProgressiveMatchesBaselineResult) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable(MakeTable("t", 80'000)).ok());
+  auto base = engine.ExecuteBaseline(MakeQuery(), 4'096);
+  ProgressiveConfig cfg;
+  cfg.vector_size = 4'096;
+  cfg.reopt_interval = 3;
+  auto prog = engine.ExecuteProgressive(MakeQuery(), cfg);
+  ASSERT_TRUE(base.ok() && prog.ok());
+  EXPECT_EQ(base.ValueOrDie().drive.qualifying_tuples,
+            prog.ValueOrDie().drive.qualifying_tuples);
+  EXPECT_DOUBLE_EQ(base.ValueOrDie().drive.aggregate,
+                   prog.ValueOrDie().drive.aggregate);
+}
+
+TEST(EngineTest, ProgressiveHonorsInitialOrder) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable(MakeTable("t", 20'000)).ok());
+  ProgressiveConfig cfg;
+  cfg.vector_size = 4'096;
+  cfg.reopt_interval = 1000;  // effectively never reoptimize
+  auto prog = engine.ExecuteProgressive(MakeQuery(), cfg,
+                                        std::vector<size_t>{1, 0});
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.ValueOrDie().final_order, (std::vector<size_t>{1, 0}));
+}
+
+TEST(EngineTest, ErrorsPropagate) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable(MakeTable("t", 100)).ok());
+  QuerySpec bad = MakeQuery();
+  bad.table = "missing";
+  EXPECT_EQ(engine.ExecuteBaseline(bad, 1024).status().code(),
+            StatusCode::kNotFound);
+  bad = MakeQuery();
+  bad.ops[0].predicate.column = "zzz";
+  EXPECT_FALSE(engine.ExecuteBaseline(bad, 1024).ok());
+  EXPECT_FALSE(engine.ExecuteBaseline(MakeQuery(), 0).ok());
+  ProgressiveConfig cfg;
+  cfg.vector_size = 0;
+  EXPECT_FALSE(engine.ExecuteProgressive(MakeQuery(), cfg).ok());
+  // Bad explicit order.
+  EXPECT_FALSE(
+      engine.ExecuteBaseline(MakeQuery(), 1024, std::vector<size_t>{0, 0})
+          .ok());
+}
+
+TEST(EngineTest, AllOrdersEnumerates) {
+  EXPECT_EQ(AllOrders(1).size(), 1u);
+  EXPECT_EQ(AllOrders(3).size(), 6u);
+  EXPECT_EQ(AllOrders(5).size(), 120u);  // the paper's permutation count
+  const auto orders = AllOrders(3);
+  // Lexicographic, starting with identity.
+  EXPECT_EQ(orders.front(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(orders.back(), (std::vector<size_t>{2, 1, 0}));
+}
+
+}  // namespace
+}  // namespace nipo

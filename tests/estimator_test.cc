@@ -1,0 +1,170 @@
+#include "optimizer/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace nipo {
+namespace {
+
+ScanShape MakeShape(double tuples, size_t preds) {
+  ScanShape shape;
+  shape.num_tuples = tuples;
+  shape.predicate_widths.assign(preds, 4);
+  shape.predictor = PredictorConfig::Symmetric(6);
+  return shape;
+}
+
+/// Builds a synthetic "perfect" sample by evaluating the counter model at
+/// the true selectivities -- the estimator must recover them.
+CounterSample PerfectSample(const ScanShape& shape,
+                            const std::vector<double>& truth) {
+  CounterSample s;
+  s.tuples_in = shape.num_tuples;
+  double out = shape.num_tuples;
+  for (double p : truth) out *= p;
+  s.tuples_out = out;
+  s.counters = PredictCounters(shape, truth);
+  return s;
+}
+
+TEST(EstimatorTest, SinglePredicateIsExact) {
+  const ScanShape shape = MakeShape(1e6, 1);
+  const CounterSample s = PerfectSample(shape, {0.37});
+  auto est = EstimateSelectivities(shape, s, {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.ValueOrDie().selectivities[0], 0.37, 1e-12);
+  EXPECT_EQ(est.ValueOrDie().starts_used, 0);
+}
+
+class EstimatorRecoveryTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(EstimatorRecoveryTest, RecoversTrueSelectivities) {
+  const std::vector<double> truth = GetParam();
+  const ScanShape shape = MakeShape(1e6, truth.size());
+  const CounterSample s = PerfectSample(shape, truth);
+  auto est = EstimateSelectivities(shape, s, {});
+  ASSERT_TRUE(est.ok());
+  const auto& got = est.ValueOrDie().selectivities;
+  ASSERT_EQ(got.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(got[i], truth[i], 0.06)
+        << "i=" << i << " objective=" << est.ValueOrDie().objective;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EstimatorRecoveryTest,
+    ::testing::Values(std::vector<double>{0.2, 0.8},
+                      std::vector<double>{0.8, 0.2},
+                      std::vector<double>{0.5, 0.5},
+                      std::vector<double>{0.05, 0.9},
+                      std::vector<double>{0.9, 0.5, 0.1},
+                      std::vector<double>{0.1, 0.5, 0.9},
+                      std::vector<double>{0.33, 0.66, 0.5},
+                      std::vector<double>{0.7, 0.6, 0.5, 0.4}));
+
+TEST(EstimatorTest, OrderingIsRecoveredEvenWhenValuesAreOff) {
+  // What the optimizer actually needs: the *ranking* of selectivities.
+  const std::vector<double> truth = {0.9, 0.3, 0.6};
+  const ScanShape shape = MakeShape(1e6, 3);
+  const CounterSample s = PerfectSample(shape, truth);
+  auto est = EstimateSelectivities(shape, s, {});
+  ASSERT_TRUE(est.ok());
+  const auto& got = est.ValueOrDie().selectivities;
+  EXPECT_GT(got[0], got[2]);
+  EXPECT_GT(got[2], got[1]);
+}
+
+TEST(EstimatorTest, AccessFractionsMonotone) {
+  const ScanShape shape = MakeShape(1e6, 4);
+  const CounterSample s = PerfectSample(shape, {0.9, 0.7, 0.5, 0.3});
+  auto est = EstimateSelectivities(shape, s, {});
+  ASSERT_TRUE(est.ok());
+  const auto& pi = est.ValueOrDie().access_fractions;
+  double prev = 1.0;
+  for (double v : pi) {
+    EXPECT_LE(v, prev + 1e-9);
+    prev = v;
+  }
+  EXPECT_NEAR(pi.back(), s.tuples_out / s.tuples_in, 1e-9);
+}
+
+TEST(EstimatorTest, RespectsStartBudget) {
+  const ScanShape shape = MakeShape(1e6, 3);
+  const CounterSample s = PerfectSample(shape, {0.5, 0.5, 0.5});
+  EstimatorConfig cfg;
+  cfg.max_starts = 2;
+  cfg.stall_limit = 100;
+  auto est = EstimateSelectivities(shape, s, cfg);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LE(est.ValueOrDie().starts_used, 2);
+}
+
+TEST(EstimatorTest, StallLimitStopsEarly) {
+  const ScanShape shape = MakeShape(1e6, 2);
+  const CounterSample s = PerfectSample(shape, {0.5, 0.5});
+  EstimatorConfig cfg;
+  cfg.max_starts = 100;
+  cfg.stall_limit = 2;
+  auto est = EstimateSelectivities(shape, s, cfg);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(est.ValueOrDie().starts_used, 100);
+}
+
+TEST(EstimatorTest, BranchesOnlyCounterSetStillRecovers) {
+  const std::vector<double> truth = {0.2, 0.7};
+  const ScanShape shape = MakeShape(1e6, 2);
+  const CounterSample s = PerfectSample(shape, truth);
+  EstimatorConfig cfg;
+  cfg.counter_set = CounterSet::kBranchesOnly;
+  auto est = EstimateSelectivities(shape, s, cfg);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.ValueOrDie().selectivities[0], 0.2, 0.08);
+  EXPECT_NEAR(est.ValueOrDie().selectivities[1], 0.7, 0.12);
+}
+
+TEST(EstimatorTest, NoisySampleStillRanksCorrectly) {
+  // 3% multiplicative noise on every counter.
+  const std::vector<double> truth = {0.15, 0.85};
+  const ScanShape shape = MakeShape(1e6, 2);
+  CounterSample s = PerfectSample(shape, truth);
+  s.counters.branches_not_taken *= 1.03;
+  s.counters.taken_mp *= 0.97;
+  s.counters.not_taken_mp *= 1.03;
+  s.counters.l3_accesses *= 0.97;
+  auto est = EstimateSelectivities(shape, s, {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(est.ValueOrDie().selectivities[0],
+            est.ValueOrDie().selectivities[1]);
+}
+
+TEST(EstimatorTest, InputValidation) {
+  const ScanShape shape = MakeShape(1e6, 2);
+  CounterSample s;
+  s.tuples_in = 0;
+  EXPECT_FALSE(EstimateSelectivities(shape, s, {}).ok());
+  s.tuples_in = 100;
+  s.tuples_out = 200;  // out > in
+  EXPECT_FALSE(EstimateSelectivities(shape, s, {}).ok());
+  ScanShape empty = MakeShape(1e6, 0);
+  s.tuples_out = 10;
+  EXPECT_FALSE(EstimateSelectivities(empty, s, {}).ok());
+}
+
+TEST(EstimatorTest, ObjectiveExposedForAblations) {
+  const ScanShape shape = MakeShape(1e6, 2);
+  const CounterEstimate sampled = PredictCounters(shape, {0.4, 0.6});
+  const double at_truth =
+      EstimationObjective(shape, sampled, {0.4, 0.6}, CounterSet::kAll);
+  const double off =
+      EstimationObjective(shape, sampled, {0.6, 0.4}, CounterSet::kAll);
+  EXPECT_NEAR(at_truth, 0.0, 1e-9);
+  EXPECT_GT(off, 0.0);
+  // Dropping counters can only reduce the distance.
+  EXPECT_LE(EstimationObjective(shape, sampled, {0.6, 0.4},
+                                CounterSet::kBntOnly),
+            off + 1e-12);
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,157 @@
+#include "exec/hash_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace nipo {
+namespace {
+
+struct Fixture {
+  Table table{"t"};
+  std::map<int64_t, std::pair<uint64_t, int64_t>> expected;  // count, sum
+  uint64_t expected_pass = 0;
+
+  Fixture(size_t n, int32_t num_groups, double filter_fraction) {
+    Prng prng(1);
+    std::vector<int32_t> group(n), filter(n);
+    std::vector<int64_t> value(n);
+    for (size_t i = 0; i < n; ++i) {
+      group[i] = static_cast<int32_t>(prng.NextBounded(num_groups));
+      filter[i] = static_cast<int32_t>(prng.NextBounded(1000));
+      value[i] = static_cast<int64_t>(prng.NextBounded(100));
+      if (filter[i] < filter_fraction * 1000) {
+        ++expected_pass;
+        auto& [count, sum] = expected[group[i]];
+        ++count;
+        sum += value[i];
+      }
+    }
+    EXPECT_TRUE(table.AddColumn("g", std::move(group)).ok());
+    EXPECT_TRUE(table.AddColumn("f", std::move(filter)).ok());
+    EXPECT_TRUE(table.AddColumn("v", std::move(value)).ok());
+  }
+
+  HashAggregateSpec Spec(double filter_fraction) const {
+    HashAggregateSpec spec;
+    spec.table = &table;
+    spec.group_column = "g";
+    spec.filters = {
+        PredicateSpec{"f", CompareOp::kLt, filter_fraction * 1000}};
+    spec.aggregates = {AggregateSpec{"v"}};
+    return spec;
+  }
+};
+
+TEST(HashAggregateTest, GroupsCountsAndSums) {
+  Fixture fx(50'000, 8, 0.5);
+  Pmu pmu(HwConfig::ScaledXeon(8));
+  auto result = ExecuteHashAggregate(fx.Spec(0.5), &pmu);
+  ASSERT_TRUE(result.ok());
+  const HashAggregateResult& r = result.ValueOrDie();
+  EXPECT_EQ(r.input_rows, 50'000u);
+  EXPECT_EQ(r.passed_filter, fx.expected_pass);
+  ASSERT_EQ(r.groups.size(), fx.expected.size());
+  for (const GroupResult& g : r.groups) {
+    auto it = fx.expected.find(g.group);
+    ASSERT_NE(it, fx.expected.end());
+    EXPECT_EQ(g.count, it->second.first);
+    ASSERT_EQ(g.sums.size(), 1u);
+    EXPECT_EQ(g.sums[0], it->second.second);
+  }
+}
+
+TEST(HashAggregateTest, GroupsSortedByKey) {
+  Fixture fx(10'000, 16, 1.0);
+  Pmu pmu(HwConfig::ScaledXeon(8));
+  auto result = ExecuteHashAggregate(fx.Spec(1.0), &pmu);
+  ASSERT_TRUE(result.ok());
+  const auto& groups = result.ValueOrDie().groups;
+  for (size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_LT(groups[i - 1].group, groups[i].group);
+  }
+}
+
+TEST(HashAggregateTest, NoFiltersAggregateEverything) {
+  Fixture fx(5'000, 4, 1.0);
+  HashAggregateSpec spec = fx.Spec(1.0);
+  spec.filters.clear();
+  Pmu pmu(HwConfig::ScaledXeon(8));
+  auto result = ExecuteHashAggregate(spec, &pmu);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().passed_filter, 5'000u);
+  uint64_t total = 0;
+  for (const GroupResult& g : result.ValueOrDie().groups) total += g.count;
+  EXPECT_EQ(total, 5'000u);
+}
+
+TEST(HashAggregateTest, MultipleAggregates) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<int32_t>("g", {0, 0, 1}).ok());
+  ASSERT_TRUE(t.AddColumn<int64_t>("x", {10, 20, 30}).ok());
+  ASSERT_TRUE(t.AddColumn<int32_t>("y", {1, 2, 3}).ok());
+  HashAggregateSpec spec;
+  spec.table = &t;
+  spec.group_column = "g";
+  spec.aggregates = {AggregateSpec{"x"}, AggregateSpec{"y"}};
+  Pmu pmu;
+  auto result = ExecuteHashAggregate(spec, &pmu);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.ValueOrDie().groups.size(), 2u);
+  EXPECT_EQ(result.ValueOrDie().groups[0].sums,
+            (std::vector<int64_t>{30, 3}));
+  EXPECT_EQ(result.ValueOrDie().groups[1].sums,
+            (std::vector<int64_t>{30, 3}));
+}
+
+TEST(HashAggregateTest, FilterShortCircuits) {
+  // A zero-selectivity filter means no groups at all.
+  Fixture fx(5'000, 4, 1.0);
+  HashAggregateSpec spec = fx.Spec(1.0);
+  spec.filters = {PredicateSpec{"f", CompareOp::kLt, -1.0}};
+  Pmu pmu;
+  auto result = ExecuteHashAggregate(spec, &pmu);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().passed_filter, 0u);
+  EXPECT_TRUE(result.ValueOrDie().groups.empty());
+}
+
+TEST(HashAggregateTest, BranchCountersReflectFilter) {
+  Fixture fx(20'000, 4, 0.3);
+  Pmu pmu(HwConfig::ScaledXeon(8));
+  auto result = ExecuteHashAggregate(fx.Spec(0.3), &pmu);
+  ASSERT_TRUE(result.ok());
+  const PmuCounters c = pmu.Read();
+  // Filter BNT = passing rows; back-edge always taken.
+  EXPECT_EQ(c.branches_not_taken, result.ValueOrDie().passed_filter);
+  EXPECT_EQ(c.branches, 2u * 20'000u);
+}
+
+TEST(HashAggregateTest, ValidationErrors) {
+  Fixture fx(10, 2, 1.0);
+  Pmu pmu;
+  EXPECT_FALSE(ExecuteHashAggregate(fx.Spec(1.0), nullptr).ok());
+  HashAggregateSpec no_table = fx.Spec(1.0);
+  no_table.table = nullptr;
+  EXPECT_FALSE(ExecuteHashAggregate(no_table, &pmu).ok());
+  HashAggregateSpec bad_group = fx.Spec(1.0);
+  bad_group.group_column = "zzz";
+  EXPECT_FALSE(ExecuteHashAggregate(bad_group, &pmu).ok());
+  HashAggregateSpec bad_agg = fx.Spec(1.0);
+  bad_agg.aggregates = {AggregateSpec{"zzz"}};
+  EXPECT_FALSE(ExecuteHashAggregate(bad_agg, &pmu).ok());
+}
+
+TEST(HashAggregateTest, DoubleGroupColumnRejected) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<double>("g", {0.5}).ok());
+  HashAggregateSpec spec;
+  spec.table = &t;
+  spec.group_column = "g";
+  Pmu pmu;
+  EXPECT_EQ(ExecuteHashAggregate(spec, &pmu).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,122 @@
+#include "exec/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace nipo {
+namespace {
+
+TEST(HashTableTest, InsertAndLookup) {
+  Pmu pmu;
+  InstrumentedHashTable table(100, &pmu);
+  ASSERT_TRUE(table.Insert(42, 7).ok());
+  int64_t value = 0;
+  EXPECT_TRUE(table.Lookup(42, &value));
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(table.Lookup(43, &value));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(HashTableTest, CapacityIsPowerOfTwoAndRoomy) {
+  Pmu pmu;
+  InstrumentedHashTable table(100, &pmu);
+  EXPECT_EQ(table.capacity(), 256u);  // next pow2 of 200
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(HashTableTest, DuplicateInsertRejected) {
+  Pmu pmu;
+  InstrumentedHashTable table(10, &pmu);
+  ASSERT_TRUE(table.Insert(1, 10).ok());
+  const Status st = table.Insert(1, 20);
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  int64_t value = 0;
+  EXPECT_TRUE(table.Lookup(1, &value));
+  EXPECT_EQ(value, 10);  // first value kept
+}
+
+TEST(HashTableTest, ManyKeysSurviveCollisions) {
+  Pmu pmu;
+  const int kKeys = 10'000;
+  InstrumentedHashTable table(kKeys, &pmu);
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(table.Insert(k * 7919, k).ok()) << k;
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    int64_t value = -1;
+    ASSERT_TRUE(table.Lookup(k * 7919, &value));
+    ASSERT_EQ(value, k);
+  }
+}
+
+TEST(HashTableTest, NegativeKeysWork) {
+  Pmu pmu;
+  InstrumentedHashTable table(10, &pmu);
+  ASSERT_TRUE(table.Insert(-5, 50).ok());
+  int64_t value = 0;
+  EXPECT_TRUE(table.Lookup(-5, &value));
+  EXPECT_EQ(value, 50);
+}
+
+TEST(HashTableTest, CapacityLimitEnforced) {
+  Pmu pmu;
+  InstrumentedHashTable table(1, &pmu);  // capacity 4, limit 4 - 0 = 4?
+  // 7/8 of 4 floors to 3 usable entries (4 - 4/8 = 4 - 0 = 4; integer
+  // division keeps at least one free slot only for capacity >= 8).
+  size_t inserted = 0;
+  for (int k = 0; k < 16; ++k) {
+    if (table.Insert(k, k).ok()) ++inserted;
+  }
+  EXPECT_LT(inserted, 16u);
+  EXPECT_LE(table.size(), table.capacity());
+}
+
+TEST(HashTableTest, AccumulateUpserts) {
+  Pmu pmu;
+  InstrumentedHashTable table(10, &pmu);
+  ASSERT_TRUE(table.Accumulate(3, 5).ok());   // insert 0 + 5
+  ASSERT_TRUE(table.Accumulate(3, 7).ok());   // 5 + 7
+  ASSERT_TRUE(table.Accumulate(4, 1, 100).ok());  // insert 100 + 1
+  int64_t value = 0;
+  ASSERT_TRUE(table.Lookup(3, &value));
+  EXPECT_EQ(value, 12);
+  ASSERT_TRUE(table.Lookup(4, &value));
+  EXPECT_EQ(value, 101);
+}
+
+TEST(HashTableTest, AccessesFlowThroughPmu) {
+  Pmu pmu;
+  const PmuCounters before = pmu.Read();
+  InstrumentedHashTable table(1000, &pmu);
+  for (int k = 0; k < 500; ++k) {
+    ASSERT_TRUE(table.Insert(k, k).ok());
+  }
+  const PmuCounters after = pmu.Read();
+  EXPECT_GE(after.l1_accesses - before.l1_accesses, 500u);
+  EXPECT_GT(after.instructions, before.instructions);
+}
+
+TEST(HashTableTest, ProbeLengthGrowsWithLoad) {
+  Pmu pmu_low, pmu_high;
+  // Low load: ~6% full.
+  InstrumentedHashTable low(10'000, &pmu_low);
+  Prng prng(2);
+  for (int k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(
+        low.Insert(static_cast<int64_t>(prng.Next() >> 1), k).ok());
+  }
+  // High load: same capacity, ~80% full.
+  InstrumentedHashTable high(10'000, &pmu_high);
+  for (int k = 0; k < 16'000; ++k) {
+    const Status st =
+        high.Insert(static_cast<int64_t>(prng.Next() >> 1), k);
+    if (st.code() == StatusCode::kCapacityExceeded) break;
+  }
+  EXPECT_GT(high.average_probe_length(), low.average_probe_length());
+  EXPECT_LT(low.average_probe_length(), 1.2);
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,167 @@
+#include "cost/markov.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/prng.h"
+
+namespace nipo {
+namespace {
+
+TEST(MarkovTest, StationaryDistributionSumsToOne) {
+  for (int states : {2, 4, 6, 8}) {
+    for (double p : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      const auto pi = MarkovStationaryDistribution(
+          PredictorConfig::Symmetric(states), p);
+      const double sum = std::accumulate(pi.begin(), pi.end(), 0.0);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "states=" << states << " p=" << p;
+    }
+  }
+}
+
+TEST(MarkovTest, DegenerateSelectivities) {
+  const PredictorConfig cfg = PredictorConfig::Symmetric(6);
+  // p = 1: every branch not taken -> all mass at the not-taken end.
+  auto pi = MarkovStationaryDistribution(cfg, 1.0);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+  // p = 0: every branch taken -> all mass at the taken end.
+  pi = MarkovStationaryDistribution(cfg, 0.0);
+  EXPECT_DOUBLE_EQ(pi[5], 1.0);
+}
+
+TEST(MarkovTest, FiftyPercentIsUniform) {
+  // At p = 0.5 the chain's ratio r = 1, so the stationary distribution is
+  // uniform across states.
+  const auto pi =
+      MarkovStationaryDistribution(PredictorConfig::Symmetric(6), 0.5);
+  for (double mass : pi) EXPECT_NEAR(mass, 1.0 / 6, 1e-12);
+}
+
+TEST(MarkovTest, ClosedFormMatchesPowerIteration) {
+  for (int states : {2, 4, 5, 6, 7, 8}) {
+    for (int nt = 1; nt < states; ++nt) {
+      const PredictorConfig cfg{states, nt};
+      for (double p : {0.05, 0.3, 0.5, 0.8, 0.95}) {
+        const auto closed = MarkovStationaryDistribution(cfg, p);
+        const auto iterated = MarkovStationaryByIteration(cfg, p);
+        for (int i = 0; i < states; ++i) {
+          EXPECT_NEAR(closed[static_cast<size_t>(i)],
+                      iterated[static_cast<size_t>(i)], 1e-6)
+              << "states=" << states << " nt=" << nt << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(MarkovTest, BranchProbabilitiesPartition) {
+  const PredictorConfig cfg = PredictorConfig::Symmetric(6);
+  for (double p : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const BranchProbabilities probs = ComputeBranchProbabilities(cfg, p);
+    EXPECT_NEAR(probs.predict_taken + probs.predict_not_taken, 1.0, 1e-12);
+    // mp + rp covers every branch.
+    EXPECT_NEAR(probs.mp + probs.rp, 1.0, 1e-12);
+    EXPECT_NEAR(probs.mp, probs.taken_mp + probs.not_taken_mp, 1e-12);
+    EXPECT_GE(probs.mp, 0.0);
+    EXPECT_LE(probs.mp, 0.5 + 1e-12);  // never worse than a coin flip
+  }
+}
+
+TEST(MarkovTest, MispredictionPeaksAtFifty) {
+  const PredictorConfig cfg = PredictorConfig::Symmetric(6);
+  const double at_half = ComputeBranchProbabilities(cfg, 0.5).mp;
+  for (double p : {0.1, 0.25, 0.4, 0.6, 0.75, 0.9}) {
+    EXPECT_LE(ComputeBranchProbabilities(cfg, p).mp, at_half + 1e-12)
+        << "p=" << p;
+  }
+}
+
+TEST(MarkovTest, SymmetricChainIsSymmetricInP) {
+  const PredictorConfig cfg = PredictorConfig::Symmetric(6);
+  for (double p : {0.1, 0.3, 0.45}) {
+    const BranchProbabilities low = ComputeBranchProbabilities(cfg, p);
+    const BranchProbabilities high =
+        ComputeBranchProbabilities(cfg, 1.0 - p);
+    EXPECT_NEAR(low.mp, high.mp, 1e-12);
+    // Taken mispredictions at p mirror not-taken mispredictions at 1-p.
+    EXPECT_NEAR(low.taken_mp, high.not_taken_mp, 1e-12);
+  }
+}
+
+TEST(MarkovTest, MoreStatesMispredictLessAtLowSelectivity) {
+  // Deeper counters resist rare flips better: at p = 0.1 an 8-state chain
+  // mispredicts no more than a 2-state chain.
+  const double mp2 =
+      ComputeBranchProbabilities(PredictorConfig::Symmetric(2), 0.1).mp;
+  const double mp8 =
+      ComputeBranchProbabilities(PredictorConfig::Symmetric(8), 0.1).mp;
+  EXPECT_LE(mp8, mp2 + 1e-12);
+}
+
+TEST(MarkovTest, ZeuchBaselineShape) {
+  EXPECT_DOUBLE_EQ(ZeuchMispredictionFraction(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ZeuchMispredictionFraction(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ZeuchMispredictionFraction(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ZeuchMispredictionFraction(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(ZeuchMispredictionFraction(0.7), 0.3);
+}
+
+TEST(MarkovTest, MarkovExceedsZeuchBaselineNearFifty) {
+  // The paper's point (Section 3.2): the piecewise-linear baseline of
+  // Zeuch et al. [23] "becomes inaccurate in the selectivity range around
+  // 50%" -- a real saturating-counter predictor mispredicts *more* than
+  // the Bayes-optimal min(p, 1-p) there, which the Markov chain captures.
+  const PredictorConfig cfg = PredictorConfig::Symmetric(6);
+  for (double p : {0.3, 0.4, 0.45, 0.55, 0.6, 0.7}) {
+    EXPECT_GT(ComputeBranchProbabilities(cfg, p).mp,
+              ZeuchMispredictionFraction(p))
+        << "p=" << p;
+  }
+  // At the extremes the two agree.
+  EXPECT_NEAR(ComputeBranchProbabilities(cfg, 0.0).mp,
+              ZeuchMispredictionFraction(0.0), 1e-12);
+  EXPECT_NEAR(ComputeBranchProbabilities(cfg, 1.0).mp,
+              ZeuchMispredictionFraction(1.0), 1e-12);
+}
+
+class MarkovVsSimulationTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MarkovVsSimulationTest, StationaryModelMatchesSimulatedPredictor) {
+  // The analytic chain must reproduce the simulated hardware unit's
+  // long-run misprediction splits on i.i.d. branches.
+  const int states = std::get<0>(GetParam());
+  const double p = std::get<1>(GetParam());
+  const PredictorConfig cfg = PredictorConfig::Symmetric(states);
+  BranchPredictor bp(cfg);
+  bp.EnsureSites(1);
+  Prng prng(1234);
+  const int kWarmup = 2000, kSamples = 400'000;
+  for (int i = 0; i < kWarmup; ++i) bp.Observe(0, !prng.NextBool(p));
+  int64_t taken_mp = 0, not_taken_mp = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const bool taken = !prng.NextBool(p);
+    const BranchOutcome out = bp.Observe(0, taken);
+    if (out.mispredicted) {
+      if (taken) {
+        ++taken_mp;
+      } else {
+        ++not_taken_mp;
+      }
+    }
+  }
+  const BranchProbabilities probs = ComputeBranchProbabilities(cfg, p);
+  EXPECT_NEAR(static_cast<double>(taken_mp) / kSamples, probs.taken_mp,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(not_taken_mp) / kSamples,
+              probs.not_taken_mp, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MarkovVsSimulationTest,
+    ::testing::Combine(::testing::Values(2, 4, 6, 8),
+                       ::testing::Values(0.05, 0.2, 0.5, 0.8, 0.95)));
+
+}  // namespace
+}  // namespace nipo

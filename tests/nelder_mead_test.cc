@@ -1,0 +1,142 @@
+#include "optimizer/nelder_mead.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nipo {
+namespace {
+
+NelderMeadOptions TightOptions() {
+  NelderMeadOptions o;
+  o.abs_tolerance = 1e-10;
+  o.max_iterations = 5000;
+  return o;
+}
+
+TEST(NelderMeadTest, MinimizesQuadratic1D) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  auto r = NelderMeadMinimize(f, {0.0}, {-10.0}, {10.0}, TightOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().x[0], 3.0, 1e-4);
+  EXPECT_TRUE(r.ValueOrDie().converged);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrock2D) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions o = TightOptions();
+  o.max_iterations = 20'000;
+  auto r = NelderMeadMinimize(f, {-1.2, 1.0}, {-5.0, -5.0}, {5.0, 5.0}, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.ValueOrDie().x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMeadTest, RespectsBoxConstraints) {
+  // Unconstrained optimum at 3; box caps at 2.
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  auto r = NelderMeadMinimize(f, {0.0}, {0.0}, {2.0}, TightOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().x[0], 2.0, 1e-6);
+  EXPECT_LE(r.ValueOrDie().x[0], 2.0 + 1e-12);
+}
+
+TEST(NelderMeadTest, StartOutsideBoxIsClamped) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  auto r = NelderMeadMinimize(f, {100.0}, {-1.0}, {1.0}, TightOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().x[0], 0.0, 1e-5);
+}
+
+TEST(NelderMeadTest, HonorsIterationBudget) {
+  auto f = [](const std::vector<double>& x) {
+    return std::abs(x[0] - 0.77) + std::abs(x[1] + 0.3);
+  };
+  NelderMeadOptions o;
+  o.max_iterations = 3;
+  o.abs_tolerance = 0.0;  // never converge by tolerance
+  auto r = NelderMeadMinimize(f, {0, 0}, {-1, -1}, {1, 1}, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().iterations, 3);
+  EXPECT_FALSE(r.ValueOrDie().converged);
+}
+
+TEST(NelderMeadTest, HigherDimensionalSphere) {
+  const size_t d = 5;
+  auto f = [](const std::vector<double>& x) {
+    double s = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double c = static_cast<double>(i) * 0.1;
+      s += (x[i] - c) * (x[i] - c);
+    }
+    return s;
+  };
+  NelderMeadOptions o = TightOptions();
+  o.max_iterations = 50'000;
+  std::vector<double> start(d, 0.9), lo(d, -1.0), hi(d, 1.0);
+  auto r = NelderMeadMinimize(f, start, lo, hi, o);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < d; ++i) {
+    EXPECT_NEAR(r.ValueOrDie().x[i], static_cast<double>(i) * 0.1, 1e-2);
+  }
+}
+
+TEST(NelderMeadTest, PinnedDimensionDoesNotBreak) {
+  // One dimension has lower == upper.
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 0.3) * (x[0] - 0.3) + x[1] * x[1];
+  };
+  auto r = NelderMeadMinimize(f, {0.0, 5.0}, {-1.0, 5.0}, {1.0, 5.0},
+                              TightOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().x[0], 0.3, 1e-4);
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().x[1], 5.0);
+}
+
+TEST(NelderMeadTest, InputValidation) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  EXPECT_FALSE(NelderMeadMinimize(f, {}, {}, {}, {}).ok());
+  EXPECT_FALSE(NelderMeadMinimize(f, {0.0}, {0.0, 1.0}, {1.0}, {}).ok());
+  EXPECT_FALSE(NelderMeadMinimize(f, {0.0}, {1.0}, {0.0}, {}).ok());
+  EXPECT_FALSE(NelderMeadMinimize(nullptr, {0.0}, {0.0}, {1.0}, {}).ok());
+}
+
+TEST(NelderMeadTest, ToleranceStopsEarlyOnFlatFunction) {
+  int evals = 0;
+  auto f = [&evals](const std::vector<double>&) {
+    ++evals;
+    return 1.0;
+  };
+  NelderMeadOptions o;
+  o.abs_tolerance = 0.5;
+  o.max_iterations = 10'000;
+  auto r = NelderMeadMinimize(f, {0.0, 0.0}, {-1, -1}, {1, 1}, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().converged);
+  EXPECT_EQ(r.ValueOrDie().iterations, 0);
+  EXPECT_LT(evals, 10);
+}
+
+TEST(NelderMeadTest, PiecewiseNonSmoothObjective) {
+  // The estimation objective uses absolute values; check NM copes.
+  auto f = [](const std::vector<double>& x) {
+    return std::abs(x[0] - 0.25) + 2.0 * std::abs(x[1] - 0.75);
+  };
+  NelderMeadOptions o = TightOptions();
+  o.max_iterations = 20'000;
+  auto r = NelderMeadMinimize(f, {0.9, 0.1}, {0, 0}, {1, 1}, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().x[0], 0.25, 1e-3);
+  EXPECT_NEAR(r.ValueOrDie().x[1], 0.75, 1e-3);
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,197 @@
+/// \file pipeline_fuzz_test.cc
+/// Randomized differential testing: for many seeded random (table,
+/// predicate chain, order, vector size) combinations, the instrumented
+/// pipeline, the progressive optimizer, and a naive reference evaluator
+/// must agree exactly on the query result, and the PMU's structural
+/// counter identities must hold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.h"
+#include "optimizer/progressive.h"
+
+namespace nipo {
+namespace {
+
+struct RandomCase {
+  Table table{"t"};
+  std::vector<OperatorSpec> ops;
+  std::vector<std::string> payload;
+  uint64_t ref_qualifying = 0;
+  double ref_aggregate = 0;
+};
+
+RandomCase MakeCase(uint64_t seed) {
+  Prng prng(seed);
+  RandomCase c;
+  const size_t rows = 1'000 + prng.NextBounded(30'000);
+  const size_t num_cols = 2 + prng.NextBounded(5);  // 2..6 columns
+
+  // Mixed-type columns with varied domains (some constant, some skewed).
+  std::vector<std::vector<double>> values(num_cols,
+                                          std::vector<double>(rows));
+  for (size_t col = 0; col < num_cols; ++col) {
+    const int kind = static_cast<int>(prng.NextBounded(4));
+    for (size_t i = 0; i < rows; ++i) {
+      switch (kind) {
+        case 0:  // uniform wide
+          values[col][i] = static_cast<double>(prng.NextBounded(1000));
+          break;
+        case 1:  // uniform narrow (many duplicates)
+          values[col][i] = static_cast<double>(prng.NextBounded(4));
+          break;
+        case 2:  // constant
+          values[col][i] = 7.0;
+          break;
+        default:  // drifting: distribution changes mid-table
+          values[col][i] =
+              i < rows / 2
+                  ? static_cast<double>(prng.NextBounded(100))
+                  : static_cast<double>(500 + prng.NextBounded(100));
+      }
+    }
+    const std::string name = "c" + std::to_string(col);
+    const int type = static_cast<int>(prng.NextBounded(3));
+    if (type == 0) {
+      std::vector<int32_t> v(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        v[i] = static_cast<int32_t>(values[col][i]);
+      }
+      EXPECT_TRUE(c.table.AddColumn(name, std::move(v)).ok());
+    } else if (type == 1) {
+      std::vector<int64_t> v(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        v[i] = static_cast<int64_t>(values[col][i]);
+      }
+      EXPECT_TRUE(c.table.AddColumn(name, std::move(v)).ok());
+    } else {
+      std::vector<double> v(rows);
+      for (size_t i = 0; i < rows; ++i) v[i] = values[col][i];
+      EXPECT_TRUE(c.table.AddColumn(name, std::move(v)).ok());
+    }
+  }
+
+  // 1..5 predicates on random columns (repeats allowed -- the executor
+  // must handle repeated-column predicates even though the analytic scan
+  // model is specified for distinct ones).
+  const size_t num_preds = 1 + prng.NextBounded(5);
+  static constexpr CompareOp kOps[] = {CompareOp::kLt, CompareOp::kLe,
+                                       CompareOp::kGt, CompareOp::kGe,
+                                       CompareOp::kEq, CompareOp::kNe};
+  for (size_t p = 0; p < num_preds; ++p) {
+    PredicateSpec pred;
+    pred.column = "c" + std::to_string(prng.NextBounded(num_cols));
+    pred.op = kOps[prng.NextBounded(6)];
+    pred.value = static_cast<double>(prng.NextInRange(-10, 1010));
+    if (prng.NextBool(0.2)) pred.extra_instructions = 10.0;
+    c.ops.push_back(OperatorSpec::Predicate(pred));
+  }
+  // Payload: last column, as SUM input, half the time.
+  if (prng.NextBool(0.5)) {
+    c.payload.push_back("c" + std::to_string(num_cols - 1));
+  }
+
+  // Reference evaluation straight off the value matrix.
+  for (size_t i = 0; i < rows; ++i) {
+    bool pass = true;
+    for (const OperatorSpec& op : c.ops) {
+      const size_t col =
+          static_cast<size_t>(op.predicate.column[1] - '0');
+      // Column values were stored possibly truncated to int; recompute
+      // what the table holds.
+      double v = values[col][i];
+      const ColumnBase* column =
+          c.table.GetColumn(op.predicate.column).ValueOrDie();
+      if (column->type() != DataType::kDouble) {
+        v = std::floor(v);
+      }
+      if (!EvaluateCompare(v, op.predicate.op, op.predicate.value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      ++c.ref_qualifying;
+      if (!c.payload.empty()) {
+        double v = values[num_cols - 1][i];
+        const ColumnBase* column =
+            c.table.GetColumn(c.payload[0]).ValueOrDie();
+        if (column->type() != DataType::kDouble) v = std::floor(v);
+        c.ref_aggregate += v;
+      }
+    }
+  }
+  return c;
+}
+
+class PipelineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineFuzzTest, MatchesReferenceUnderAnyOrderAndVectorSize) {
+  const uint64_t seed = GetParam();
+  RandomCase c = MakeCase(seed);
+  Prng prng(seed ^ 0xabcdef);
+
+  // A few random orders and vector sizes per case.
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<size_t> order(c.ops.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[prng.NextBounded(i)]);
+    }
+    const size_t vector_size = 64 + prng.NextBounded(8192);
+
+    Pmu pmu(HwConfig::ScaledXeon(32));
+    auto exec =
+        PipelineExecutor::Compile(c.table, c.ops, c.payload, &pmu);
+    ASSERT_TRUE(exec.ok());
+    ASSERT_TRUE(exec.ValueOrDie()->Reorder(order).ok());
+    VectorDriver driver(exec.ValueOrDie().get(), vector_size);
+    const DriveResult r = driver.Run();
+
+    ASSERT_EQ(r.qualifying_tuples, c.ref_qualifying)
+        << "seed=" << seed << " trial=" << trial;
+    ASSERT_DOUBLE_EQ(r.aggregate, c.ref_aggregate);
+    // Structural counter identity: qualifying = 2n - branches_taken.
+    ASSERT_EQ(2 * r.input_tuples - r.total.branches_taken,
+              r.qualifying_tuples);
+    // Mispredictions partition.
+    ASSERT_EQ(r.total.mispredictions,
+              r.total.taken_mispredictions +
+                  r.total.not_taken_mispredictions);
+    // Branch direction counts partition the branch count.
+    ASSERT_EQ(r.total.branches,
+              r.total.branches_taken + r.total.branches_not_taken);
+  }
+}
+
+TEST_P(PipelineFuzzTest, ProgressiveOptimizerPreservesResults) {
+  const uint64_t seed = GetParam();
+  RandomCase c = MakeCase(seed);
+  Pmu pmu(HwConfig::ScaledXeon(32));
+  auto exec = PipelineExecutor::Compile(c.table, c.ops, c.payload, &pmu);
+  ASSERT_TRUE(exec.ok());
+  ProgressiveConfig cfg;
+  cfg.vector_size = 1024;
+  cfg.reopt_interval = 2;
+  cfg.explore_period = 3;
+  ProgressiveOptimizer opt(exec.ValueOrDie().get(), cfg);
+  const ProgressiveReport report = opt.Run();
+  ASSERT_EQ(report.drive.qualifying_tuples, c.ref_qualifying)
+      << "seed=" << seed;
+  ASSERT_DOUBLE_EQ(report.drive.aggregate, c.ref_aggregate);
+  // The final order is a valid permutation.
+  std::vector<bool> seen(c.ops.size(), false);
+  for (size_t idx : report.final_order) {
+    ASSERT_LT(idx, c.ops.size());
+    ASSERT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,103 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nipo {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(PrngTest, SeedZeroWorks) {
+  Prng p(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(p.Next());
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(PrngTest, BoundedStaysInRange) {
+  Prng p(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(p.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(PrngTest, BoundedOneAlwaysZero) {
+  Prng p(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.NextBounded(1), 0u);
+}
+
+TEST(PrngTest, InRangeInclusive) {
+  Prng p(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = p.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng p(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = p.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, BoundedIsRoughlyUniform) {
+  Prng p(17);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[p.NextBounded(kBuckets)];
+  }
+  // Chi-squared with 9 dof; 99.9% critical value ~27.9.
+  double chi2 = 0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(PrngTest, BernoulliMatchesProbability) {
+  Prng p(19);
+  for (double prob : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kDraws = 50'000;
+    for (int i = 0; i < kDraws; ++i) {
+      if (p.NextBool(prob)) ++hits;
+    }
+    const double rate = static_cast<double>(hits) / kDraws;
+    EXPECT_NEAR(rate, prob, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace nipo

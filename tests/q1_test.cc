@@ -1,0 +1,105 @@
+#include "tpch/q1.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/tpch_gen.h"
+
+namespace nipo {
+namespace {
+
+class Q1Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.01;
+    auto li = GenerateLineitem(cfg);
+    ASSERT_TRUE(li.ok());
+    lineitem_ = li.ValueOrDie().release();
+    ASSERT_TRUE(AddQ1GroupColumn(lineitem_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete lineitem_;
+    lineitem_ = nullptr;
+  }
+  static Table* lineitem_;
+};
+
+Table* Q1Test::lineitem_ = nullptr;
+
+TEST_F(Q1Test, GroupKeyEncoding) {
+  EXPECT_EQ(Q1GroupKey(0, 0), 0);
+  EXPECT_EQ(Q1GroupKey(0, 1), 1);
+  EXPECT_EQ(Q1GroupKey(2, 1), 5);
+  EXPECT_EQ(Q1DecodeGroup(5), (std::pair<int32_t, int32_t>{2, 1}));
+  EXPECT_EQ(Q1DecodeGroup(0), (std::pair<int32_t, int32_t>{0, 0}));
+}
+
+TEST_F(Q1Test, GroupColumnMaterializedOnce) {
+  // The fixture added it; a second call is a no-op, not an error.
+  EXPECT_TRUE(AddQ1GroupColumn(lineitem_).ok());
+  EXPECT_TRUE(lineitem_->GetColumn("l_q1group").ok());
+}
+
+TEST_F(Q1Test, EngineMatchesReference) {
+  const HashAggregateSpec spec = MakeQ1Spec(*lineitem_);
+  Pmu pmu(HwConfig::ScaledXeon(16));
+  auto engine_result = ExecuteHashAggregate(spec, &pmu);
+  auto reference = ComputeQ1Reference(*lineitem_);
+  ASSERT_TRUE(engine_result.ok());
+  ASSERT_TRUE(reference.ok());
+  const auto& got = engine_result.ValueOrDie();
+  const auto& want = reference.ValueOrDie();
+  EXPECT_EQ(got.passed_filter, want.passed_filter);
+  ASSERT_EQ(got.groups.size(), want.groups.size());
+  for (size_t i = 0; i < got.groups.size(); ++i) {
+    EXPECT_EQ(got.groups[i].group, want.groups[i].group);
+    EXPECT_EQ(got.groups[i].count, want.groups[i].count);
+    EXPECT_EQ(got.groups[i].sums, want.groups[i].sums);
+  }
+}
+
+TEST_F(Q1Test, CanonicalDeltaKeepsMostRows) {
+  auto reference = ComputeQ1Reference(*lineitem_, 90);
+  ASSERT_TRUE(reference.ok());
+  const double kept =
+      static_cast<double>(reference.ValueOrDie().passed_filter) /
+      static_cast<double>(reference.ValueOrDie().input_rows);
+  EXPECT_GT(kept, 0.9);
+  EXPECT_LT(kept, 1.0);
+}
+
+TEST_F(Q1Test, AllSixGroupsAppear) {
+  // returnflag in {A, N, R} x linestatus in {F, O}: depending on date
+  // boundaries 4-6 groups carry rows; the canonical generator populates
+  // at least the four large ones (A-F, N-O, R-F, N-F).
+  auto reference = ComputeQ1Reference(*lineitem_);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_GE(reference.ValueOrDie().groups.size(), 4u);
+  EXPECT_LE(reference.ValueOrDie().groups.size(), 6u);
+  for (const GroupResult& g : reference.ValueOrDie().groups) {
+    EXPECT_GE(g.group, 0);
+    EXPECT_LE(g.group, 5);
+    EXPECT_GT(g.count, 0u);
+    ASSERT_EQ(g.sums.size(), 2u);
+    // sum(quantity) in [count*1, count*50].
+    EXPECT_GE(g.sums[0], static_cast<int64_t>(g.count));
+    EXPECT_LE(g.sums[0], static_cast<int64_t>(g.count) * 50);
+  }
+}
+
+TEST_F(Q1Test, DeltaParameterShiftsSelectivity) {
+  auto tight = ComputeQ1Reference(*lineitem_, 600);
+  auto loose = ComputeQ1Reference(*lineitem_, 0);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_LT(tight.ValueOrDie().passed_filter,
+            loose.ValueOrDie().passed_filter);
+}
+
+TEST(Q1StandaloneTest, AddGroupColumnValidation) {
+  EXPECT_FALSE(AddQ1GroupColumn(nullptr).ok());
+  Table empty("t");
+  EXPECT_FALSE(AddQ1GroupColumn(&empty).ok());  // missing source columns
+}
+
+}  // namespace
+}  // namespace nipo

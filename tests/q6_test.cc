@@ -1,0 +1,151 @@
+#include "tpch/q6.h"
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "tpch/tpch_gen.h"
+
+namespace nipo {
+namespace {
+
+class Q6Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.01;
+    auto li = GenerateLineitem(cfg);
+    ASSERT_TRUE(li.ok());
+    lineitem_ = li.ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete lineitem_;
+    lineitem_ = nullptr;
+  }
+  static Table* lineitem_;
+};
+
+Table* Q6Test::lineitem_ = nullptr;
+
+TEST_F(Q6Test, FullVariantHasFivePredicates) {
+  const auto ops = MakeQ6FullPredicates();
+  EXPECT_EQ(ops.size(), 5u);
+  for (const auto& op : ops) {
+    EXPECT_EQ(op.kind, OperatorSpec::Kind::kPredicate);
+  }
+  // Two shipdate bounds, two discount bounds, one quantity bound.
+  int shipdate = 0, discount = 0, quantity = 0;
+  for (const auto& op : ops) {
+    if (op.predicate.column == "l_shipdate") ++shipdate;
+    if (op.predicate.column == "l_discount") ++discount;
+    if (op.predicate.column == "l_quantity") ++quantity;
+  }
+  EXPECT_EQ(shipdate, 2);
+  EXPECT_EQ(discount, 2);
+  EXPECT_EQ(quantity, 1);
+}
+
+TEST_F(Q6Test, IntroVariantHasFourPredicates) {
+  const auto ops = MakeQ6IntroPredicates(9000);
+  EXPECT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].predicate.column, "l_shipdate");
+  EXPECT_EQ(ops[0].predicate.op, CompareOp::kLe);
+  EXPECT_DOUBLE_EQ(ops[0].predicate.value, 9000.0);
+}
+
+TEST_F(Q6Test, ReferenceMatchesManualEvaluation) {
+  const auto ops = MakeQ6FullPredicates();
+  auto ref = ComputeQ6Reference(*lineitem_, ops);
+  ASSERT_TRUE(ref.ok());
+  // Manual recomputation.
+  const auto& ship =
+      *lineitem_->GetTypedColumn<int32_t>("l_shipdate").ValueOrDie();
+  const auto& disc =
+      *lineitem_->GetTypedColumn<int32_t>("l_discount").ValueOrDie();
+  const auto& qty =
+      *lineitem_->GetTypedColumn<int32_t>("l_quantity").ValueOrDie();
+  const auto& price =
+      *lineitem_->GetTypedColumn<int64_t>("l_extendedprice").ValueOrDie();
+  const int32_t lo = DateToDayNumber(Date{1994, 1, 1});
+  const int32_t hi = DateToDayNumber(Date{1995, 1, 1});
+  uint64_t qualifying = 0;
+  double revenue = 0;
+  for (size_t i = 0; i < lineitem_->num_rows(); ++i) {
+    if (ship[i] >= lo && ship[i] < hi && disc[i] >= 5 && disc[i] <= 7 &&
+        qty[i] < 24) {
+      ++qualifying;
+      revenue += static_cast<double>(price[i]) * disc[i];
+    }
+  }
+  EXPECT_EQ(ref.ValueOrDie().qualifying, qualifying);
+  EXPECT_DOUBLE_EQ(ref.ValueOrDie().revenue, revenue);
+  EXPECT_GT(qualifying, 0u);
+}
+
+TEST_F(Q6Test, ReferenceRejectsProbes) {
+  std::vector<OperatorSpec> ops = {OperatorSpec::FkProbe({})};
+  EXPECT_FALSE(ComputeQ6Reference(*lineitem_, ops).ok());
+}
+
+TEST_F(Q6Test, ValueForSelectivityHitsTargets) {
+  for (double target : {0.001, 0.01, 0.1, 0.5, 0.9}) {
+    auto value = ValueForSelectivity(*lineitem_, "l_shipdate", target);
+    ASSERT_TRUE(value.ok());
+    auto measured = MeasureSelectivity(*lineitem_, "l_shipdate",
+                                       CompareOp::kLe,
+                                       value.ValueOrDie());
+    ASSERT_TRUE(measured.ok());
+    // Exact quantile: at most one tuple above target.
+    EXPECT_GE(measured.ValueOrDie() + 1e-9, target);
+    EXPECT_LE(measured.ValueOrDie(),
+              target + 200.0 / static_cast<double>(lineitem_->num_rows()) +
+                  0.02);
+  }
+}
+
+TEST_F(Q6Test, ValueForSelectivityExtremes) {
+  auto zero = ValueForSelectivity(*lineitem_, "l_shipdate", 0.0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_DOUBLE_EQ(MeasureSelectivity(*lineitem_, "l_shipdate",
+                                      CompareOp::kLe, zero.ValueOrDie())
+                       .ValueOrDie(),
+                   0.0);
+  auto one = ValueForSelectivity(*lineitem_, "l_shipdate", 1.0);
+  ASSERT_TRUE(one.ok());
+  EXPECT_DOUBLE_EQ(MeasureSelectivity(*lineitem_, "l_shipdate",
+                                      CompareOp::kLe, one.ValueOrDie())
+                       .ValueOrDie(),
+                   1.0);
+}
+
+TEST_F(Q6Test, ValueForSelectivityValidatesArgs) {
+  EXPECT_FALSE(ValueForSelectivity(*lineitem_, "l_shipdate", -0.1).ok());
+  EXPECT_FALSE(ValueForSelectivity(*lineitem_, "l_shipdate", 1.1).ok());
+  EXPECT_FALSE(ValueForSelectivity(*lineitem_, "no_col", 0.5).ok());
+  // int64 column: quantile helper is int32-only by contract.
+  EXPECT_FALSE(ValueForSelectivity(*lineitem_, "l_extendedprice", 0.5).ok());
+}
+
+TEST_F(Q6Test, MeasureSelectivityAllOps) {
+  // Sanity across comparison operators on the discount column (uniform
+  // integers 0..10).
+  auto sel = [&](CompareOp op, double v) {
+    return MeasureSelectivity(*lineitem_, "l_discount", op, v).ValueOrDie();
+  };
+  EXPECT_NEAR(sel(CompareOp::kLe, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(sel(CompareOp::kLt, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(sel(CompareOp::kGe, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(sel(CompareOp::kLe, 4.0), 5.0 / 11.0, 0.02);
+  EXPECT_NEAR(sel(CompareOp::kGt, 4.0), 6.0 / 11.0, 0.02);
+  EXPECT_NEAR(sel(CompareOp::kEq, 5.0), 1.0 / 11.0, 0.02);
+  EXPECT_NEAR(sel(CompareOp::kNe, 5.0), 10.0 / 11.0, 0.02);
+}
+
+TEST_F(Q6Test, PayloadColumns) {
+  const auto payload = Q6PayloadColumns();
+  ASSERT_EQ(payload.size(), 2u);
+  EXPECT_EQ(payload[0], "l_extendedprice");
+  EXPECT_EQ(payload[1], "l_discount");
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,129 @@
+#include "optimizer/start_points.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace nipo {
+namespace {
+
+TEST(StartPointsTest, VerticesComeFirst) {
+  StartPointGenerator gen({0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5});
+  std::set<std::vector<double>> vertices;
+  for (int i = 0; i < 4; ++i) vertices.insert(gen.Next());
+  EXPECT_EQ(vertices.size(), 4u);
+  EXPECT_TRUE(vertices.count({0.0, 0.0}));
+  EXPECT_TRUE(vertices.count({0.0, 1.0}));
+  EXPECT_TRUE(vertices.count({1.0, 0.0}));
+  EXPECT_TRUE(vertices.count({1.0, 1.0}));
+}
+
+TEST(StartPointsTest, NullHypothesisFollowsVertices) {
+  StartPointGenerator gen({0.0, 0.0}, {1.0, 1.0}, {0.25, 0.5});
+  for (int i = 0; i < 4; ++i) gen.Next();
+  const auto null_point = gen.Next();
+  EXPECT_DOUBLE_EQ(null_point[0], 0.25);
+  EXPECT_DOUBLE_EQ(null_point[1], 0.5);
+}
+
+TEST(StartPointsTest, FigureNineCentroids) {
+  // Paper Figure 9: null hypothesis at the even split (25% overall in 2D
+  // -> C1 = (0.5, 0.5) in per-axis coordinates); the four follow-up starts
+  // are the centroids of the four equal sub-squares.
+  StartPointGenerator gen({0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5},
+                          /*include_vertices=*/false);
+  const auto c1 = gen.Next();
+  EXPECT_EQ(c1, (std::vector<double>{0.5, 0.5}));
+  std::set<std::vector<double>> next_four;
+  for (int i = 0; i < 4; ++i) next_four.insert(gen.Next());
+  EXPECT_TRUE(next_four.count({0.25, 0.25}));
+  EXPECT_TRUE(next_four.count({0.25, 0.75}));
+  EXPECT_TRUE(next_four.count({0.75, 0.25}));
+  EXPECT_TRUE(next_four.count({0.75, 0.75}));
+}
+
+TEST(StartPointsTest, LargestSubspaceFirst) {
+  // Off-center null hypothesis: the biggest sub-box's centroid comes next.
+  StartPointGenerator gen({0.0, 0.0}, {1.0, 1.0}, {0.1, 0.1},
+                          /*include_vertices=*/false);
+  gen.Next();  // null hypothesis
+  const auto c2 = gen.Next();
+  // Largest sub-box is [0.1,1]x[0.1,1], centroid (0.55, 0.55).
+  EXPECT_NEAR(c2[0], 0.55, 1e-12);
+  EXPECT_NEAR(c2[1], 0.55, 1e-12);
+}
+
+TEST(StartPointsTest, AllPointsInsideBox) {
+  StartPointGenerator gen({0.2, 0.3, 0.1}, {0.9, 0.7, 0.4},
+                          {0.5, 0.5, 0.2});
+  for (int i = 0; i < 100; ++i) {
+    const auto p = gen.Next();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_GE(p[0], 0.2 - 1e-12);
+    EXPECT_LE(p[0], 0.9 + 1e-12);
+    EXPECT_GE(p[1], 0.3 - 1e-12);
+    EXPECT_LE(p[1], 0.7 + 1e-12);
+    EXPECT_GE(p[2], 0.1 - 1e-12);
+    EXPECT_LE(p[2], 0.4 + 1e-12);
+  }
+  EXPECT_EQ(gen.emitted(), 100u);
+}
+
+TEST(StartPointsTest, NullHypothesisOutsideBoxIsClamped) {
+  StartPointGenerator gen({0.4}, {0.6}, {0.9}, false);
+  EXPECT_DOUBLE_EQ(gen.Next()[0], 0.6);
+}
+
+TEST(StartPointsTest, InteriorPointsEventuallyCoverSpace) {
+  // After many emissions, the interior points must be spread out: every
+  // quadrant of the unit square receives at least one.
+  StartPointGenerator gen({0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5}, false);
+  int quadrant_hits[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 60; ++i) {
+    const auto p = gen.Next();
+    const int q = (p[0] >= 0.5 ? 1 : 0) + (p[1] >= 0.5 ? 2 : 0);
+    ++quadrant_hits[q];
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_GT(quadrant_hits[q], 3);
+}
+
+TEST(StartPointsTest, DegenerateBoxKeepsReturningPoint) {
+  StartPointGenerator gen({0.5}, {0.5}, {0.5}, false);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(gen.Next()[0], 0.5);
+  }
+}
+
+TEST(StartPointsTest, HighDimensionSkipsVertexExplosion) {
+  // 12 dimensions would mean 4096 vertices; the generator skips them.
+  std::vector<double> lo(12, 0.0), hi(12, 1.0), null_point(12, 0.5);
+  StartPointGenerator gen(lo, hi, null_point, /*include_vertices=*/true);
+  const auto first = gen.Next();
+  EXPECT_EQ(first, null_point);
+}
+
+TEST(EvenSplitTest, GeometricSplit) {
+  // 4 predicates, overall 0.0625: per-predicate 0.5, cumulative fractions
+  // 0.5, 0.25, 0.125 for the three free dimensions.
+  const auto p = EvenSplitNullHypothesis(0.0625, 3, 4);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+  EXPECT_NEAR(p[2], 0.125, 1e-12);
+}
+
+TEST(EvenSplitTest, OverallOneGivesAllOnes) {
+  const auto p = EvenSplitNullHypothesis(1.0, 2, 3);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+  EXPECT_NEAR(p[1], 1.0, 1e-9);
+}
+
+TEST(EvenSplitTest, ClampsPathologicalOverall) {
+  const auto p = EvenSplitNullHypothesis(0.0, 2, 2);
+  EXPECT_GT(p[0], 0.0);
+  EXPECT_LT(p[0], 1e-3);
+}
+
+}  // namespace
+}  // namespace nipo

@@ -1,0 +1,94 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace nipo {
+namespace {
+
+Table MakeTwoColumnTable() {
+  Table t("t");
+  EXPECT_TRUE(t.AddColumn<int32_t>("a", {1, 2, 3}).ok());
+  EXPECT_TRUE(t.AddColumn<double>("b", {0.1, 0.2, 0.3}).ok());
+  return t;
+}
+
+TEST(TableTest, AddColumnsTracksRows) {
+  Table t = MakeTwoColumnTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.name(), "t");
+}
+
+TEST(TableTest, RejectsMismatchedLength) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<int32_t>("a", {1, 2, 3}).ok());
+  Status st = t.AddColumn<int32_t>("b", {1, 2});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_columns(), 1u);
+}
+
+TEST(TableTest, RejectsDuplicateName) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<int32_t>("a", {1}).ok());
+  EXPECT_EQ(t.AddColumn<int32_t>("a", {2}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, RejectsNullColumn) {
+  Table t("t");
+  EXPECT_EQ(t.AddColumn(nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, GetColumnByName) {
+  Table t = MakeTwoColumnTable();
+  auto col = t.GetColumn("b");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col.ValueOrDie()->type(), DataType::kDouble);
+  EXPECT_EQ(t.GetColumn("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, GetTypedColumn) {
+  Table t = MakeTwoColumnTable();
+  auto ok = t.GetTypedColumn<int32_t>("a");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok.ValueOrDie())[2], 3);
+  EXPECT_EQ(t.GetTypedColumn<double>("a").status().code(),
+            StatusCode::kTypeMismatch);
+  EXPECT_EQ(t.GetTypedColumn<int32_t>("zzz").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, MutableColumnAllowsInPlaceEdits) {
+  Table t = MakeTwoColumnTable();
+  auto col = t.GetMutableColumn("a");
+  ASSERT_TRUE(col.ok());
+  auto* typed = static_cast<Column<int32_t>*>(col.ValueOrDie());
+  (*typed)[0] = 99;
+  EXPECT_EQ((*t.GetTypedColumn<int32_t>("a").ValueOrDie())[0], 99);
+}
+
+TEST(TableTest, SchemaReflectsColumns) {
+  Table t = MakeTwoColumnTable();
+  Schema schema = t.schema();
+  ASSERT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.field(0).name, "a");
+  EXPECT_EQ(schema.field(1).type, DataType::kDouble);
+  EXPECT_EQ(schema.FieldIndex("b").ValueOrDie(), 1u);
+  EXPECT_EQ(schema.FieldIndex("zzz").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(schema.ToString(), "schema{a: int32, b: double}");
+}
+
+TEST(TableTest, ColumnByPosition) {
+  Table t = MakeTwoColumnTable();
+  EXPECT_EQ(t.column(0)->name(), "a");
+  EXPECT_EQ(t.column(1)->name(), "b");
+}
+
+TEST(TableTest, EmptyColumnsAllowed) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn<int32_t>("a", {}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace nipo
