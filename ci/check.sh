@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The tier-1 verify recipe, executable: configure -> build -> ctest.
+# Usage: ci/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"

@@ -1,0 +1,53 @@
+# Helper functions so later PRs can add a target in one line.
+#
+#   nipo_add_test(tests/foo_test.cc)     -> binary foo_test, registered in ctest
+#   nipo_add_bench(bench/fig01_x.cc)     -> binary fig01_x under bench/
+#   nipo_add_example(examples/bar.cc)    -> binary bar under examples/
+
+function(nipo_set_warnings target)
+  if(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(NIPO_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  else()
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    # GCC 12 emits -Wrestrict false positives for `const char* + std::string&&`
+    # at -O2 (GCC bug 105651); the diagnostic fires inside libstdc++ headers.
+    if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
+       AND CMAKE_CXX_COMPILER_VERSION VERSION_GREATER_EQUAL 12
+       AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
+      target_compile_options(${target} PRIVATE -Wno-restrict)
+    endif()
+    if(NIPO_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  endif()
+endfunction()
+
+function(nipo_add_test source)
+  get_filename_component(name ${source} NAME_WE)
+  add_executable(${name} ${source})
+  target_link_libraries(${name} PRIVATE nipo GTest::gtest GTest::gtest_main)
+  nipo_set_warnings(${name})
+  add_test(NAME ${name} COMMAND ${name})
+endfunction()
+
+function(nipo_add_bench source)
+  get_filename_component(name ${source} NAME_WE)
+  add_executable(${name} ${source})
+  target_include_directories(${name} PRIVATE ${CMAKE_CURRENT_SOURCE_DIR}/bench)
+  target_link_libraries(${name} PRIVATE nipo)
+  nipo_set_warnings(${name})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(nipo_add_example source)
+  get_filename_component(name ${source} NAME_WE)
+  add_executable(${name} ${source})
+  target_link_libraries(${name} PRIVATE nipo)
+  nipo_set_warnings(${name})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/examples)
+endfunction()

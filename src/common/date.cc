@@ -2,6 +2,11 @@
 
 #include <cstdio>
 
+/// \file date.cc
+/// Proleptic-Gregorian calendar arithmetic behind date.h: leap-year and
+/// month-length rules plus the Hinnant days-from-civil / civil-from-days
+/// round trip and ISO formatting.
+
 namespace nipo {
 
 bool IsLeapYear(int32_t year) {

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+/// \file status.cc
+/// StatusCode spelling table and Status message assembly.
+
 namespace nipo {
 
 std::string_view StatusCodeToString(StatusCode code) {

@@ -6,6 +6,10 @@
 
 #include "common/logging.h"
 
+/// \file table_printer.cc
+/// Column-width measurement, alignment and border drawing for the aligned
+/// text tables, plus CSV escaping and FormatDouble's trailing-zero trim.
+
 namespace nipo {
 
 TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}

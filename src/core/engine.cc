@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <numeric>
 
+/// \file engine.cc
+/// Engine facade implementation: the table registry, compilation of a
+/// QuerySpec into a PipelineExecutor bound to a fresh simulated machine,
+/// the baseline and progressive execution entry points, and the AllOrders
+/// permutation enumeration used by the figure benches.
+
 namespace nipo {
 
 Engine::Engine(HwConfig hw) : hw_(hw) {}

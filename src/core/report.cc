@@ -4,6 +4,11 @@
 
 #include "common/table_printer.h"
 
+/// \file report.cc
+/// Rendering of execution reports: PMU counter rows, baseline vs
+/// progressive comparison tables and the PEO-change trace, in both
+/// aligned-text and CSV form.
+
 namespace nipo {
 
 namespace {

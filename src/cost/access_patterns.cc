@@ -6,6 +6,11 @@
 #include "common/logging.h"
 #include "cost/join_model.h"
 
+/// \file access_patterns.cc
+/// Evaluation of the atomic Manegold-style access patterns: per-level
+/// footprints in cache lines, sequential/random miss counts, and the
+/// composition rules used by the scan and join cost models.
+
 namespace nipo {
 
 namespace {

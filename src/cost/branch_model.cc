@@ -1,5 +1,10 @@
 #include "cost/branch_model.h"
 
+/// \file branch_model.cc
+/// Per-predicate branch-event estimates: scales the Markov-chain
+/// misprediction probabilities by the tuple counts flowing into each
+/// predicate of the chain.
+
 namespace nipo {
 
 BranchEstimate EstimatePredicateBranches(const PredictorConfig& config,

@@ -5,6 +5,11 @@
 
 #include "common/logging.h"
 
+/// \file cache_model.cc
+/// Scan cache-traffic estimates: plain sequential reads for the first
+/// column of an order, conditional-read patterns with density equal to the
+/// product of the preceding selectivities for every later column.
+
 namespace nipo {
 
 ColumnCacheEstimate EstimateColumnCache(const ScanCacheModelConfig& config,

@@ -5,6 +5,11 @@
 
 #include "common/logging.h"
 
+/// \file counter_model.cc
+/// Assembly of the four-counter prediction (branches not taken,
+/// mispredicted-taken, mispredicted-not-taken, L3 accesses) from the
+/// branch and cache models, for one candidate selectivity vector.
+
 namespace nipo {
 
 CounterEstimate PredictCounters(const ScanShape& shape,

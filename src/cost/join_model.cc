@@ -5,6 +5,11 @@
 
 #include "common/logging.h"
 
+/// \file join_model.cc
+/// External-memory-model probe-miss estimates (Equations 1-2): expected
+/// distinct cache lines touched by r random probes into a relation,
+/// evaluated per hierarchy level with numerically stable expm1/log1p.
+
 namespace nipo {
 
 double ExpectedDistinctLines(double total_lines, double num_accesses) {

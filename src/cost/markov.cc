@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+/// \file markov.cc
+/// Closed-form stationary distribution of the saturating-counter
+/// birth-death chain and the misprediction probabilities derived from it
+/// (Equations 4a-4g and 5a-5f), with care at the p=0, p=1 and p=0.5
+/// boundary cases.
+
 namespace nipo {
 
 std::vector<double> MarkovStationaryDistribution(const PredictorConfig& config,

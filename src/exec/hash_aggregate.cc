@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+/// \file hash_aggregate.cc
+/// Instrumented hash GROUP BY: binds group/payload columns, runs the
+/// optional predicate chain in its configured order, and accumulates
+/// SUM/COUNT per group through the PMU-visible hash table.
+
 namespace nipo {
 
 namespace {

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+/// \file hash_join.cc
+/// Instrumented hash equi-join: build-side insertion keyed on an
+/// arbitrary column, streaming probe with per-lookup PMU traffic, and
+/// type dispatch over the supported key column types.
+
 namespace nipo {
 
 namespace {

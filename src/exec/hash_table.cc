@@ -4,6 +4,10 @@
 
 #include "common/logging.h"
 
+/// \file hash_table.cc
+/// Open-addressing (linear probing, power-of-two capacity) hash table
+/// whose slot touches are reported to the simulated cache hierarchy.
+
 namespace nipo {
 
 namespace {

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+/// \file pipeline.cc
+/// The instrumented tuple-at-a-time scan loop: operator-chain evaluation
+/// in a configurable order with one conditional branch per operator, every
+/// load/compare/branch reported to the Pmu, plus operator spec helpers and
+/// order (re)wiring for the progressive driver.
+
 namespace nipo {
 
 std::string_view CompareOpToString(CompareOp op) {

@@ -2,6 +2,11 @@
 
 #include "common/logging.h"
 
+/// \file vector_driver.cc
+/// Vector-at-a-time driving of a PipelineExecutor: fixed-size vector
+/// slicing, per-vector counter sampling around each slice, and the
+/// between-vector hook the progressive optimizer attaches to.
+
 namespace nipo {
 
 VectorDriver::VectorDriver(PipelineExecutor* executor, size_t vector_size)

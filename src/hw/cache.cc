@@ -1,5 +1,10 @@
 #include "hw/cache.h"
 
+/// \file cache.cc
+/// Simulated set-associative LRU cache levels and the inclusive
+/// L1/L2/L3-plus-memory hierarchy with next-line prefetch, counting
+/// accesses and misses per level.
+
 namespace nipo {
 
 std::string_view MemoryLevelToString(MemoryLevel level) {

@@ -3,6 +3,12 @@
 #include <cmath>
 #include <sstream>
 
+/// \file pmu.cc
+/// Counter-vector arithmetic and formatting, the HwConfig presets
+/// (XeonE5_2630v2 and its scaled variant), and Pmu event intake wiring
+/// the branch predictor, cache hierarchy and simulated-time model
+/// together.
+
 namespace nipo {
 
 PmuCounters PmuCounters::operator-(const PmuCounters& other) const {

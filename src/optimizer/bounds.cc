@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+/// \file bounds.cc
+/// Derivation of the per-position access-count bounds (Equations 6-9)
+/// from a counter sample, and clamping of candidate points into the
+/// resulting feasible box.
+
 namespace nipo {
 
 bool SearchBounds::Feasible() const {

@@ -6,6 +6,12 @@
 
 #include "optimizer/start_points.h"
 
+/// \file estimator.cc
+/// The Section 4.2 learning algorithm: the relative-distance objective
+/// between sampled and predicted counters (Equation 10), minimized by
+/// multi-start Nelder-Mead inside the Section 4.1 bounds, yielding
+/// per-predicate selectivity estimates.
+
 namespace nipo {
 
 namespace {

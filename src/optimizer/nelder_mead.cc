@@ -4,6 +4,11 @@
 #include <cmath>
 #include <numeric>
 
+/// \file nelder_mead.cc
+/// Box-constrained Nelder-Mead downhill simplex: reflection, expansion,
+/// contraction and shrink steps with every candidate clamped to the
+/// feasible box, terminating on absolute tolerance or iteration budget.
+
 namespace nipo {
 
 namespace {

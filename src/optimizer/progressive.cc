@@ -4,6 +4,12 @@
 #include <cmath>
 #include <numeric>
 
+/// \file progressive.cc
+/// The progressive optimization driver loop: per-interval counter
+/// sampling, selectivity learning, operator re-ranking (cost-weighted
+/// when probes or expensive predicates participate) and in-flight
+/// evaluation-order changes, recorded as a PEO trace.
+
 namespace nipo {
 
 ProgressiveOptimizer::ProgressiveOptimizer(PipelineExecutor* executor,

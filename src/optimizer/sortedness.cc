@@ -1,5 +1,10 @@
 #include "optimizer/sortedness.h"
 
+/// \file sortedness.cc
+/// The Sections 5.5-5.6 sortedness judge: compares observed probe misses
+/// against the Equation 1 random-access prediction to score how
+/// co-clustered a probed relation is with the scan order.
+
 namespace nipo {
 
 SortednessVerdict JudgeSortedness(const CacheGeometry& l3_geometry,

@@ -5,6 +5,11 @@
 
 #include "common/logging.h"
 
+/// \file start_points.cc
+/// Deterministic start-point sequence for the multi-start search:
+/// well-spread points inside the bounded box (Section 4.3, Figure 9),
+/// volume-aware so degenerate boxes fall back gracefully.
+
 namespace nipo {
 
 double StartPointGenerator::Volume(const std::vector<double>& lo,

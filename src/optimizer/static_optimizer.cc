@@ -4,6 +4,11 @@
 
 #include "exec/pipeline.h"
 
+/// \file static_optimizer.cc
+/// The compile-time baseline: rank-orders an operator chain once from
+/// histogram selectivity estimates using the classic
+/// (selectivity - 1) / cost criterion.
+
 namespace nipo {
 
 StaticPlan PlanStatically(const std::vector<OperatorSpec>& ops,

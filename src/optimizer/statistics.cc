@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+/// \file statistics.cc
+/// Column statistics collection (min/max, equi-width histograms, sampled
+/// distinct counts) and histogram-based selectivity estimation for the
+/// static optimizer, with typed access dispatch over column types.
+
 namespace nipo {
 
 namespace {

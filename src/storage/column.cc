@@ -1,5 +1,9 @@
 #include "storage/column.h"
 
+/// \file column.cc
+/// DataType spelling and the non-template pieces of the typed column
+/// implementations.
+
 namespace nipo {
 
 std::string_view DataTypeToString(DataType type) {

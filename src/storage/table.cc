@@ -1,5 +1,9 @@
 #include "storage/table.h"
 
+/// \file table.cc
+/// Schema field lookup/printing and Table column management (add, find,
+/// length consistency checks).
+
 namespace nipo {
 
 Result<size_t> Schema::FieldIndex(const std::string& name) const {

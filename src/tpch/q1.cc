@@ -2,6 +2,11 @@
 
 #include <map>
 
+/// \file q1.cc
+/// TPC-H Q1 helpers: returnflag/linestatus group-key encoding, the
+/// derived group column, the Q1 aggregate spec and a reference
+/// implementation for verification.
+
 namespace nipo {
 
 int64_t Q1GroupKey(int32_t returnflag, int32_t linestatus) {

@@ -5,6 +5,11 @@
 
 #include "common/date.h"
 
+/// \file q6.cc
+/// TPC-H Q6 operator chains (full and reduced predicate sets, with the
+/// paper's parameter defaults), payload columns, and a scalar reference
+/// evaluation for correctness checks.
+
 namespace nipo {
 
 std::vector<OperatorSpec> MakeQ6FullPredicates(int32_t ship_lo_day,

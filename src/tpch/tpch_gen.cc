@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+/// \file tpch_gen.cc
+/// Scaled deterministic lineitem generation: per-order orderdate/lineitem
+/// structure, TPC-H value distributions for the columns the experiments
+/// read, and assembly into a registered-ready Table.
+
 namespace nipo {
 
 namespace {
