@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# The tier-1 verify recipe, executable: configure -> build -> ctest.
+# The tier-1 verify recipe, executable: configure -> build -> ctest, run
+# twice (1-thread and 8-thread parallel-driver configs via the
+# NIPO_TEST_THREADS env var), then the parallel tests again under a
+# ThreadSanitizer build (skip with NIPO_TSAN=0).
 # Usage: ci/check.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -8,4 +11,19 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"
+for threads in 1 8; do
+  echo "== ctest with NIPO_TEST_THREADS=$threads =="
+  (cd "$BUILD_DIR" && NIPO_TEST_THREADS=$threads \
+      ctest --output-on-failure -j "$(nproc)")
+done
+
+# ThreadSanitizer pass over the sharded-execution tests. Tests only (no
+# benches/examples) keeps the second build tree small.
+if [[ "${NIPO_TSAN:-1}" == "1" ]]; then
+  echo "== ThreadSanitizer build: parallel driver tests =="
+  cmake -B "$BUILD_DIR-tsan" -S . -DNIPO_TSAN=ON \
+      -DNIPO_BUILD_BENCHES=OFF -DNIPO_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target parallel_driver_test
+  (cd "$BUILD_DIR-tsan" && NIPO_TEST_THREADS=8 \
+      ctest -R parallel_driver_test --output-on-failure)
+fi

@@ -6,8 +6,9 @@
 /// \file engine.cc
 /// Engine facade implementation: the table registry, compilation of a
 /// QuerySpec into a PipelineExecutor bound to a fresh simulated machine,
-/// the baseline and progressive execution entry points, and the AllOrders
-/// permutation enumeration used by the figure benches.
+/// the baseline and progressive execution entry points (single-threaded
+/// and sharded-parallel, see DESIGN.md "Parallel execution"), and the
+/// AllOrders permutation enumeration used by the figure benches.
 
 namespace nipo {
 
@@ -62,7 +63,7 @@ Result<BaselineReport> Engine::ExecuteBaseline(
   if (vector_size == 0) {
     return Status::InvalidArgument("vector_size must be positive");
   }
-  Pmu pmu(hw_);
+  Pmu pmu = NewMachine();
   NIPO_ASSIGN_OR_RETURN(
       std::unique_ptr<PipelineExecutor> exec,
       CompileQuery(query, &pmu, InstrumentationMode::kPmu));
@@ -79,13 +80,82 @@ Result<ProgressiveReport> Engine::ExecuteProgressive(
   if (config.vector_size == 0) {
     return Status::InvalidArgument("vector_size must be positive");
   }
-  Pmu pmu(hw_);
+  Pmu pmu = NewMachine();
   NIPO_ASSIGN_OR_RETURN(
       std::unique_ptr<PipelineExecutor> exec,
       CompileQuery(query, &pmu, InstrumentationMode::kPmu));
   NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), initial_order));
   ProgressiveOptimizer optimizer(exec.get(), config);
   return optimizer.Run();
+}
+
+Result<ParallelBaselineReport> Engine::ExecuteBaselineParallel(
+    const QuerySpec& query, const ParallelOptions& options,
+    std::optional<std::vector<size_t>> order) const {
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (options.morsel_size == 0) {
+    return Status::InvalidArgument("morsel_size must be positive");
+  }
+  ParallelConfig pcfg;
+  pcfg.num_threads = options.num_threads;
+  pcfg.morsel_size = options.morsel_size;
+  ParallelDriver driver(
+      NewMachine(),
+      [this, &query](Pmu* pmu) {
+        return CompileQuery(query, pmu, InstrumentationMode::kPmu);
+      },
+      pcfg);
+  // Query and order errors propagate from the driver, which compiles every
+  // worker executor and applies `order` before any thread starts.
+  ParallelBaselineReport report;
+  NIPO_ASSIGN_OR_RETURN(report.drive, driver.Run(order));
+  if (order.has_value()) {
+    report.order = *std::move(order);
+  } else {
+    report.order.resize(query.ops.size());
+    std::iota(report.order.begin(), report.order.end(), size_t{0});
+  }
+  return report;
+}
+
+Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
+    const QuerySpec& query, const ProgressiveConfig& config,
+    const ParallelOptions& options,
+    std::optional<std::vector<size_t>> initial_order) const {
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (config.vector_size == 0) {
+    return Status::InvalidArgument("vector_size must be positive");
+  }
+  // The coordinator's control pipeline: never executed, provides operator
+  // metadata and carries the authoritative current order.
+  Pmu control_pmu = NewMachine();
+  NIPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<PipelineExecutor> control,
+      CompileQuery(query, &control_pmu, InstrumentationMode::kPmu));
+  NIPO_RETURN_NOT_OK(ApplyOrder(control.get(), initial_order));
+  ParallelProgressiveCoordinator coordinator(control.get(), config);
+
+  ParallelConfig pcfg;
+  pcfg.num_threads = options.num_threads;
+  pcfg.morsel_size = config.vector_size;  // the paper's sampling unit
+  ParallelDriver driver(
+      NewMachine(),
+      [this, &query](Pmu* pmu) {
+        return CompileQuery(query, pmu, InstrumentationMode::kPmu);
+      },
+      pcfg);
+  ParallelProgressiveReport report;
+  NIPO_ASSIGN_OR_RETURN(
+      report.drive,
+      driver.Run(initial_order, [&coordinator](const MorselRecord& record) {
+        return coordinator.OnMorsel(record);
+      }));
+  coordinator.FillReport(&report);
+  return report;
 }
 
 std::vector<std::vector<size_t>> AllOrders(size_t n) {

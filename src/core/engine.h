@@ -16,9 +16,12 @@
 /// An Engine owns a set of registered tables and a simulated-machine
 /// configuration; queries are described by QuerySpec (operator chain +
 /// aggregate payload) and executed either as a fixed-order baseline (the
-/// paper's "common execution pattern") or under progressive optimization.
-/// Each execution runs on a fresh simulated machine (cold caches, neutral
-/// predictor), so results are deterministic and comparable.
+/// paper's "common execution pattern") or under progressive optimization,
+/// each in a single-threaded and a sharded multi-threaded form (the
+/// *Parallel entry points; DESIGN.md "Parallel execution"). Each execution
+/// runs on fresh simulated machines (cold caches, neutral predictor) --
+/// one per worker thread in the parallel case -- so results are
+/// deterministic and comparable.
 ///
 /// Typical use (see examples/quickstart.cc):
 /// \code
@@ -45,6 +48,23 @@ struct QuerySpec {
 /// \brief Baseline (fixed-order) execution result.
 struct BaselineReport {
   DriveResult drive;
+  std::vector<size_t> order;  ///< the order that was executed
+};
+
+/// \brief Options of the sharded (multi-threaded) entry points.
+struct ParallelOptions {
+  /// Worker thread count (>= 1); 1 reproduces the single-threaded
+  /// VectorDriver execution bit-identically.
+  size_t num_threads = 1;
+  /// Tuples per morsel for ExecuteBaselineParallel. The progressive
+  /// entry point uses ProgressiveConfig::vector_size instead, so its
+  /// sampling unit matches the single-threaded driver.
+  size_t morsel_size = 65'536;
+};
+
+/// \brief Sharded baseline execution result.
+struct ParallelBaselineReport {
+  ParallelDriveResult drive;
   std::vector<size_t> order;  ///< the order that was executed
 };
 
@@ -75,6 +95,30 @@ class Engine {
   Result<ProgressiveReport> ExecuteProgressive(
       const QuerySpec& query, const ProgressiveConfig& config,
       std::optional<std::vector<size_t>> initial_order = std::nullopt) const;
+
+  /// Executes `query` with a fixed order sharded across
+  /// `options.num_threads` worker threads, each on its own fresh machine
+  /// (DESIGN.md "Parallel execution"). With num_threads = 1 the result is
+  /// bit-identical to ExecuteBaseline at vector_size = morsel_size.
+  Result<ParallelBaselineReport> ExecuteBaselineParallel(
+      const QuerySpec& query, const ParallelOptions& options,
+      std::optional<std::vector<size_t>> order = std::nullopt) const;
+
+  /// Executes `query` under progressive optimization sharded across
+  /// `options.num_threads` workers: per-morsel counter samples are merged
+  /// by one shared coordinator, whose reorder decisions are broadcast to
+  /// all workers at morsel boundaries. Morsel size is
+  /// `config.vector_size`.
+  Result<ParallelProgressiveReport> ExecuteProgressiveParallel(
+      const QuerySpec& query, const ProgressiveConfig& config,
+      const ParallelOptions& options,
+      std::optional<std::vector<size_t>> initial_order = std::nullopt) const;
+
+  /// Builds the fresh simulated machine every execution runs on (cold
+  /// caches, neutral predictor). Single-threaded entry points run on this
+  /// machine directly; the parallel driver clones it per worker
+  /// (Pmu::CloneFresh), so the two paths cannot drift apart.
+  Pmu NewMachine() const { return Pmu(hw_); }
 
  private:
   Result<std::unique_ptr<PipelineExecutor>> CompileQuery(

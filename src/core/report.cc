@@ -6,8 +6,9 @@
 
 /// \file report.cc
 /// Rendering of execution reports: PMU counter rows, baseline vs
-/// progressive comparison tables and the PEO-change trace, in both
-/// aligned-text and CSV form.
+/// progressive comparison tables, the PEO-change trace, and the sharded
+/// (parallel) merged/per-worker summaries, in both aligned-text and CSV
+/// form.
 
 namespace nipo {
 
@@ -87,6 +88,53 @@ void PrintProgressiveReport(const ProgressiveReport& report,
   }
   trace.Print(out);
   out << "optimizations: " << report.num_optimizations
+      << ", final order: " << FormatOrder(report.final_order) << "\n";
+  if (!report.last_estimate.empty()) {
+    out << "final selectivity estimate:";
+    for (double s : report.last_estimate) {
+      out << " " << FormatDouble(s, 3);
+    }
+    out << "\n";
+  }
+}
+
+void PrintParallelDriveResult(const ParallelDriveResult& result,
+                              const std::string& title, std::ostream& out) {
+  PrintDriveResult(result.merged, title + " (merged)", out);
+  TablePrinter workers(title + " - workers");
+  workers.SetHeader({"worker", "morsels", "steals", "cycles",
+                     "machine msec"});
+  for (size_t w = 0; w < result.workers.size(); ++w) {
+    const WorkerStats& stats = result.workers[w];
+    workers.AddRow({std::to_string(w), std::to_string(stats.morsels),
+                    std::to_string(stats.steals),
+                    std::to_string(stats.counters.cycles),
+                    FormatDouble(stats.simulated_msec, 3)});
+  }
+  workers.Print(out);
+  out << "morsels: " << result.num_morsels
+      << ", critical path: " << FormatDouble(result.merged.simulated_msec, 3)
+      << " simulated msec, wall: " << FormatDouble(result.wall_msec, 3)
+      << " host msec\n";
+}
+
+void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
+                                    const std::string& title,
+                                    std::ostream& out) {
+  PrintParallelDriveResult(report.drive, title, out);
+  TablePrinter trace(title + " - broadcast PEO trace");
+  trace.SetHeader({"window end", "old order", "new order", "flags"});
+  for (const PeoChange& change : report.changes) {
+    std::string flags;
+    if (change.exploration) flags += "exploration ";
+    if (change.reverted) flags += "reverted";
+    trace.AddRow({std::to_string(change.vector_index),
+                  FormatOrder(change.old_order),
+                  FormatOrder(change.new_order), flags});
+  }
+  trace.Print(out);
+  out << "optimizations: " << report.num_optimizations
+      << ", stale morsels: " << report.stale_morsels
       << ", final order: " << FormatOrder(report.final_order) << "\n";
   if (!report.last_estimate.empty()) {
     out << "final selectivity estimate:";

@@ -26,6 +26,17 @@ void PrintDriveResult(const DriveResult& drive, const std::string& title,
 void PrintProgressiveReport(const ProgressiveReport& report,
                             const std::string& title, std::ostream& out);
 
+/// \brief Renders a sharded execution: the deterministic merged summary
+/// plus one row per worker (morsels, steals, cycles, machine time).
+void PrintParallelDriveResult(const ParallelDriveResult& result,
+                              const std::string& title, std::ostream& out);
+
+/// \brief Renders a sharded progressive run: merged drive summary,
+/// per-worker table, and the broadcast PEO trace.
+void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
+                                    const std::string& title,
+                                    std::ostream& out);
+
 /// \brief One-line PEO rendering ("3,1,0,2,4").
 std::string FormatOrder(const std::vector<size_t>& order);
 

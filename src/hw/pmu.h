@@ -51,6 +51,7 @@ struct PmuCounters {
 
   PmuCounters operator-(const PmuCounters& other) const;
   PmuCounters& operator+=(const PmuCounters& other);
+  bool operator==(const PmuCounters& other) const = default;
   std::string ToString() const;
 };
 
@@ -100,11 +101,23 @@ struct HwConfig {
 
 /// \brief The simulated PMU: one predictor + one cache hierarchy + cycle
 /// accounting, shared by all operators of a running query.
+///
+/// Threading: a Pmu is a *core-private* machine — it is not synchronized,
+/// and every worker thread of a sharded execution must own its own
+/// instance (see CloneFresh and DESIGN.md "Parallel execution").
 class Pmu {
  public:
   explicit Pmu(HwConfig config = HwConfig::XeonE5_2630v2());
 
   const HwConfig& config() const { return config_; }
+
+  /// Creates a fresh machine with the same configuration: cold caches,
+  /// neutral predictor, zero counters. This is the per-worker machine
+  /// construction path of the parallel driver (exec/parallel_driver.h):
+  /// every worker thread gets an identically configured private core.
+  /// ResetMachine() is the in-place equivalent for a machine that is
+  /// reused rather than cloned.
+  Pmu CloneFresh() const { return Pmu(config_); }
 
   /// Registers `n` static branch sites (idempotent growth).
   void EnsureBranchSites(size_t n) { predictor_.EnsureSites(n); }

@@ -8,29 +8,32 @@
 /// The progressive optimization driver loop: per-interval counter
 /// sampling, selectivity learning, operator re-ranking (cost-weighted
 /// when probes or expensive predicates participate) and in-flight
-/// evaluation-order changes, recorded as a PEO trace.
+/// evaluation-order changes, recorded as a PEO trace. The decision core
+/// (estimate + rank) is shared between the single-threaded driver and the
+/// parallel coordinator, which runs the same cycle on merged morsel
+/// windows and broadcasts its decisions to all workers (DESIGN.md
+/// "Parallel execution").
 
 namespace nipo {
 
-ProgressiveOptimizer::ProgressiveOptimizer(PipelineExecutor* executor,
-                                           ProgressiveConfig config)
-    : executor_(executor), config_(config) {
-  NIPO_CHECK(executor_ != nullptr);
-  NIPO_CHECK(config_.reopt_interval > 0);
-  for (size_t i = 0; i < executor_->num_operators(); ++i) {
-    if (executor_->OperatorAt(i).kind == OperatorSpec::Kind::kFkProbe) {
-      has_probe_ = true;
+namespace {
+
+bool PipelineHasProbe(const PipelineExecutor& exec) {
+  for (size_t i = 0; i < exec.num_operators(); ++i) {
+    if (exec.OperatorAt(i).kind == OperatorSpec::Kind::kFkProbe) {
+      return true;
     }
   }
+  return false;
 }
 
-ScanShape ProgressiveOptimizer::CurrentShape(double num_tuples) const {
+ScanShape ShapeForOrder(const PipelineExecutor& exec, double num_tuples) {
   ScanShape shape;
   shape.num_tuples = num_tuples;
-  shape.predictor = executor_->pmu()->config().predictor;
-  shape.cache.line_size = executor_->pmu()->config().l1.line_size;
-  for (size_t pos = 0; pos < executor_->num_operators(); ++pos) {
-    const OperatorSpec& op = executor_->OperatorAt(pos);
+  shape.predictor = exec.pmu()->config().predictor;
+  shape.cache.line_size = exec.pmu()->config().l1.line_size;
+  for (size_t pos = 0; pos < exec.num_operators(); ++pos) {
+    const OperatorSpec& op = exec.OperatorAt(pos);
     // A probe behaves like a predicate on its (int32) FK column for branch
     // purposes; its dimension-side cache traffic is handled separately.
     (void)op;
@@ -44,18 +47,45 @@ ScanShape ProgressiveOptimizer::CurrentShape(double num_tuples) const {
   return shape;
 }
 
-std::vector<size_t> ProgressiveOptimizer::RankOperators(
+}  // namespace
+
+Result<SelectivityEstimate> EstimateOrderSelectivities(
+    const PipelineExecutor& exec, const ProgressiveConfig& config,
+    const VectorSample& sample) {
+  CounterSample cs;
+  cs.tuples_in = static_cast<double>(sample.result.input_tuples);
+  cs.tuples_out = static_cast<double>(sample.result.qualifying_tuples);
+  cs.counters.branches_not_taken =
+      static_cast<double>(sample.counters.branches_not_taken);
+  cs.counters.taken_mp =
+      static_cast<double>(sample.counters.taken_mispredictions);
+  cs.counters.not_taken_mp =
+      static_cast<double>(sample.counters.not_taken_mispredictions);
+  cs.counters.l3_accesses = static_cast<double>(sample.counters.l3_accesses);
+
+  EstimatorConfig est = config.estimator;
+  if (PipelineHasProbe(exec)) {
+    // The scan cache model does not cover dimension-side traffic; rely on
+    // the (cache-independent) branch counters for selectivities.
+    est.counter_set = CounterSet::kBranchesOnly;
+  }
+  const ScanShape shape = ShapeForOrder(exec, cs.tuples_in);
+  return EstimateSelectivities(shape, cs, est);
+}
+
+std::vector<size_t> RankOrderOperators(
+    const PipelineExecutor& exec, const ProgressiveConfig& config,
     const VectorSample& sample, const std::vector<double>& selectivities) {
-  const size_t n = executor_->num_operators();
+  const size_t n = exec.num_operators();
   NIPO_CHECK(selectivities.size() == n);
-  const HwConfig& hw = executor_->pmu()->config();
+  const HwConfig& hw = exec.pmu()->config();
 
   // Attribute sampled L3 misses to probes for cost weighting. With the
   // (common) single-probe pipelines of the evaluation this is exact
   // enough; multiple probes share the attribution equally.
   size_t probe_count = 0;
   for (size_t pos = 0; pos < n; ++pos) {
-    if (executor_->OperatorAt(pos).kind == OperatorSpec::Kind::kFkProbe) {
+    if (exec.OperatorAt(pos).kind == OperatorSpec::Kind::kFkProbe) {
       ++probe_count;
     }
   }
@@ -64,7 +94,7 @@ std::vector<size_t> ProgressiveOptimizer::RankOperators(
   // side scan is predicted to cost (cold columns miss once per fetched
   // line, so scan misses ~ scan accesses).
   const ScanShape shape =
-      CurrentShape(static_cast<double>(sample.result.input_tuples));
+      ShapeForOrder(exec, static_cast<double>(sample.result.input_tuples));
   const double scan_accesses =
       PredictCounters(shape, selectivities).l3_accesses;
   const double probe_misses = std::max(
@@ -73,7 +103,7 @@ std::vector<size_t> ProgressiveOptimizer::RankOperators(
   std::vector<double> cost(n, 1.0);
   double reach = 1.0;  // fraction of tuples reaching this position
   for (size_t pos = 0; pos < n; ++pos) {
-    const OperatorSpec& op = executor_->OperatorAt(pos);
+    const OperatorSpec& op = exec.OperatorAt(pos);
     if (op.kind == OperatorSpec::Kind::kPredicate) {
       cost[pos] = 1.0 + op.predicate.extra_instructions /
                             LoopCostModel::kCompareInstructions / 3.0;
@@ -88,8 +118,8 @@ std::vector<size_t> ProgressiveOptimizer::RankOperators(
       obs.sampled_l3_misses =
           probe_misses / static_cast<double>(std::max<size_t>(1, probe_count));
       const SortednessVerdict verdict =
-          JudgeSortedness(hw.l3, obs, config_.co_cluster_threshold);
-      cost[pos] = config_.probe_base_cost + 20.0 * verdict.score;
+          JudgeSortedness(hw.l3, obs, config.co_cluster_threshold);
+      cost[pos] = config.probe_base_cost + 20.0 * verdict.score;
     }
     reach *= std::clamp(selectivities[pos], 0.0, 1.0);
   }
@@ -107,11 +137,18 @@ std::vector<size_t> ProgressiveOptimizer::RankOperators(
                    [&](size_t a, size_t b) { return rank[a] < rank[b]; });
 
   // Express as original operator indices.
-  const std::vector<size_t>& current = executor_->current_order();
+  const std::vector<size_t>& current = exec.current_order();
   std::vector<size_t> proposed;
   proposed.reserve(n);
   for (size_t pos : positions) proposed.push_back(current[pos]);
   return proposed;
+}
+
+ProgressiveOptimizer::ProgressiveOptimizer(PipelineExecutor* executor,
+                                           ProgressiveConfig config)
+    : executor_(executor), config_(config) {
+  NIPO_CHECK(executor_ != nullptr);
+  NIPO_CHECK(config_.reopt_interval > 0);
 }
 
 void ProgressiveOptimizer::Optimize(const VectorSample& sample) {
@@ -119,32 +156,14 @@ void ProgressiveOptimizer::Optimize(const VectorSample& sample) {
   ++report_.num_optimizations;
   if (sample.result.input_tuples == 0) return;
 
-  CounterSample cs;
-  cs.tuples_in = static_cast<double>(sample.result.input_tuples);
-  cs.tuples_out = static_cast<double>(sample.result.qualifying_tuples);
-  cs.counters.branches_not_taken =
-      static_cast<double>(sample.counters.branches_not_taken);
-  cs.counters.taken_mp =
-      static_cast<double>(sample.counters.taken_mispredictions);
-  cs.counters.not_taken_mp =
-      static_cast<double>(sample.counters.not_taken_mispredictions);
-  cs.counters.l3_accesses = static_cast<double>(sample.counters.l3_accesses);
-
-  EstimatorConfig est = config_.estimator;
-  if (has_probe_) {
-    // The scan cache model does not cover dimension-side traffic; rely on
-    // the (cache-independent) branch counters for selectivities.
-    est.counter_set = CounterSet::kBranchesOnly;
-  }
-  const ScanShape shape = CurrentShape(cs.tuples_in);
-  auto estimate = EstimateSelectivities(shape, cs, est);
+  auto estimate = EstimateOrderSelectivities(*executor_, config_, sample);
   if (!estimate.ok()) {
     return;  // inconsistent sample (e.g. empty vector); skip this cycle
   }
   report_.last_estimate = estimate.ValueOrDie().selectivities;
 
-  std::vector<size_t> proposed =
-      RankOperators(sample, estimate.ValueOrDie().selectivities);
+  std::vector<size_t> proposed = RankOrderOperators(
+      *executor_, config_, sample, estimate.ValueOrDie().selectivities);
   const bool explore =
       config_.explore_period > 0 &&
       optimization_count_ % config_.explore_period == 0 && proposed.size() > 1;
@@ -213,6 +232,108 @@ ProgressiveReport ProgressiveOptimizer::Run() {
       driver.Run([this](const VectorSample& sample) { HandleVector(sample); });
   report_.final_order = executor_->current_order();
   return report_;
+}
+
+ParallelProgressiveCoordinator::ParallelProgressiveCoordinator(
+    PipelineExecutor* control, ProgressiveConfig config)
+    : control_(control), config_(config) {
+  NIPO_CHECK(control_ != nullptr);
+  NIPO_CHECK(config_.reopt_interval > 0);
+}
+
+std::optional<std::vector<size_t>> ParallelProgressiveCoordinator::OnMorsel(
+    const MorselRecord& record) {
+  if (record.order_version != version_) {
+    // The morsel was in flight (under the previous order) when a broadcast
+    // happened; mixing its counters into the window would hand the
+    // estimator a sample spanning two orders. Its result still counts in
+    // the driver's merge -- only the decision window excludes it.
+    ++stale_morsels_;
+    return std::nullopt;
+  }
+  window_.Add(record.sample);
+  if (window_.count() < config_.reopt_interval) return std::nullopt;
+  const VectorSample merged = window_.merged();
+  window_.Reset();
+  return DecideOnWindow(merged);
+}
+
+std::optional<std::vector<size_t>>
+ParallelProgressiveCoordinator::DecideOnWindow(const VectorSample& merged) {
+  const double tuples = std::max<double>(
+      1.0, static_cast<double>(merged.result.input_tuples));
+  const double cycles_per_tuple =
+      static_cast<double>(merged.counters.cycles) / tuples;
+
+  if (pending_.has_value()) {
+    // This window ran entirely under the new order: validate it.
+    std::optional<std::vector<size_t>> broadcast;
+    if (pending_->old_cycles_per_tuple > 0 &&
+        cycles_per_tuple >
+            pending_->old_cycles_per_tuple * config_.revert_threshold) {
+      recently_reverted_ = control_->current_order();
+      hysteresis_ttl_ = 1;  // skip this order for one optimization cycle
+      NIPO_CHECK(control_->Reorder(pending_->old_order).ok());
+      ++version_;
+      changes_.back().reverted = true;
+      broadcast = control_->current_order();  // the revert is a broadcast too
+    } else {
+      hysteresis_ttl_ = 0;  // a change survived; reopen the space
+    }
+    pending_.reset();
+    last_cycles_per_tuple_ = cycles_per_tuple;
+    return broadcast;
+  }
+
+  ++optimization_count_;
+  ++num_optimizations_;
+  std::optional<std::vector<size_t>> broadcast;
+  if (merged.result.input_tuples > 0) {
+    auto estimate = EstimateOrderSelectivities(*control_, config_, merged);
+    if (estimate.ok()) {
+      last_estimate_ = estimate.ValueOrDie().selectivities;
+      std::vector<size_t> proposed = RankOrderOperators(
+          *control_, config_, merged, estimate.ValueOrDie().selectivities);
+      const bool explore = config_.explore_period > 0 &&
+                           optimization_count_ % config_.explore_period == 0 &&
+                           proposed.size() > 1;
+      if (explore && proposed == control_->current_order()) {
+        std::swap(proposed[0], proposed[1]);
+      }
+      bool blocked = proposed == control_->current_order();
+      if (!blocked && hysteresis_ttl_ > 0) {
+        --hysteresis_ttl_;
+        if (proposed == recently_reverted_) blocked = true;
+      }
+      if (!blocked) {
+        PendingValidation pending;
+        pending.old_order = control_->current_order();
+        pending.old_cycles_per_tuple = last_cycles_per_tuple_;
+        pending.exploration = explore;
+        NIPO_CHECK(control_->Reorder(proposed).ok());
+        ++version_;
+        PeoChange change;
+        change.vector_index = merged.vector_index;
+        change.old_order = pending.old_order;
+        change.new_order = proposed;
+        change.exploration = explore;
+        changes_.push_back(change);
+        if (config_.validate_and_revert) pending_ = std::move(pending);
+        broadcast = control_->current_order();
+      }
+    }
+  }
+  last_cycles_per_tuple_ = cycles_per_tuple;
+  return broadcast;
+}
+
+void ParallelProgressiveCoordinator::FillReport(
+    ParallelProgressiveReport* report) const {
+  report->changes = changes_;
+  report->num_optimizations = num_optimizations_;
+  report->last_estimate = last_estimate_;
+  report->final_order = control_->current_order();
+  report->stale_morsels = stale_morsels_;
 }
 
 DriveResult RunBaseline(PipelineExecutor* executor, size_t vector_size) {

@@ -4,12 +4,16 @@
 #include <optional>
 #include <vector>
 
+#include "exec/parallel_driver.h"
 #include "exec/vector_driver.h"
 #include "optimizer/estimator.h"
 #include "optimizer/sortedness.h"
+#include "optimizer/statistics.h"
 
 /// \file progressive.h
-/// The progressive optimization driver (paper Section 4.4, Figure 10).
+/// The progressive optimization driver (paper Section 4.4, Figure 10),
+/// in a single-threaded and a sharded-parallel form (DESIGN.md "Parallel
+/// execution").
 ///
 /// Execution proceeds vector by vector. Every `reopt_interval` vectors the
 /// driver takes the latest counter sample, runs the Section 4.2 learning
@@ -22,6 +26,12 @@
 /// primitive-rechain step). The next vector *validates* the switch: if
 /// its cycles-per-tuple deteriorate, the old order is re-established
 /// (Section 4.4's "if they deteriorate, the old order is reestablished").
+///
+/// Under sharded execution the same estimate->rank->validate cycle runs in
+/// ParallelProgressiveCoordinator: worker morsel samples are merged into
+/// windows of `reopt_interval` morsels (SampleMerger; counter sums over
+/// same-order morsels are sufficient statistics for the estimators), and
+/// each decision is broadcast to all workers at morsel boundaries.
 
 namespace nipo {
 
@@ -69,6 +79,29 @@ struct ProgressiveReport {
   std::vector<size_t> final_order;
 };
 
+// ---------------------------------------------------------------------------
+// Shared decision core
+// ---------------------------------------------------------------------------
+// Used by both the single-threaded ProgressiveOptimizer and the parallel
+// ParallelProgressiveCoordinator, so the two drivers cannot drift apart;
+// exposed for tests.
+
+/// \brief Runs the Section 4.2 learning algorithm on `sample` (one vector,
+/// or a SampleMerger-merged window of same-order morsels) against the
+/// current evaluation order of `exec`. Errors for inconsistent samples.
+Result<SelectivityEstimate> EstimateOrderSelectivities(
+    const PipelineExecutor& exec, const ProgressiveConfig& config,
+    const VectorSample& sample);
+
+/// \brief Ranks the operators of `exec`'s current order by cost-weighted
+/// selectivity (ascending (s-1)/c; for unit costs this is the paper's
+/// ascending-selectivity PEO rule; probe cost is informed by the Section
+/// 5.5-5.6 sortedness detector on the sampled L3 misses). Returns the
+/// proposed order in original operator indices.
+std::vector<size_t> RankOrderOperators(
+    const PipelineExecutor& exec, const ProgressiveConfig& config,
+    const VectorSample& sample, const std::vector<double>& selectivities);
+
 /// \brief Runs a pipeline to completion under progressive optimization.
 class ProgressiveOptimizer {
  public:
@@ -86,11 +119,6 @@ class ProgressiveOptimizer {
 
   void HandleVector(const VectorSample& sample);
   void Optimize(const VectorSample& sample);
-  /// Ranks operators of the current order given estimated selectivities;
-  /// returns the proposed new order in original indices.
-  std::vector<size_t> RankOperators(const VectorSample& sample,
-                                    const std::vector<double>& selectivities);
-  ScanShape CurrentShape(double num_tuples) const;
 
   PipelineExecutor* executor_;
   ProgressiveConfig config_;
@@ -98,11 +126,79 @@ class ProgressiveOptimizer {
   std::optional<PendingValidation> pending_;
   double last_cycles_per_tuple_ = 0;
   size_t optimization_count_ = 0;
-  bool has_probe_ = false;
   /// Hysteresis: an order that validation just rolled back is not
   /// re-proposed for `hysteresis_ttl_` optimization cycles, preventing
   /// estimate-noise oscillation (propose -> revert -> propose -> ...)
   /// while still allowing the order back in once conditions change.
+  std::vector<size_t> recently_reverted_;
+  int hysteresis_ttl_ = 0;
+};
+
+/// \brief Outcome of a sharded progressively optimized execution.
+struct ParallelProgressiveReport {
+  ParallelDriveResult drive;
+  /// PEO trace; vector_index holds the morsel index ending the decision
+  /// window that triggered the change.
+  std::vector<PeoChange> changes;
+  size_t num_optimizations = 0;
+  std::vector<double> last_estimate;
+  std::vector<size_t> final_order;
+  /// Morsels excluded from decision windows because they were already in
+  /// flight (under the previous order) when a reorder was broadcast.
+  size_t stale_morsels = 0;
+};
+
+/// \brief The shared optimizer of a sharded execution: one coordinator
+/// receives every worker's morsel samples (serialized by ParallelDriver's
+/// hook lock), merges them into windows of `reopt_interval` same-order
+/// morsels, and runs the estimate->rank->validate cycle on each window.
+///
+/// Decisions are expressed against a *control* executor -- a non-executing
+/// pipeline compiled over the same query that provides operator metadata
+/// and carries the authoritative current order -- and returned to the
+/// driver for broadcast; workers apply them at morsel boundaries.
+/// The coordinator's broadcast count mirrors ParallelDriver's order
+/// version (both start at 0 and advance once per returned order), which is
+/// how MorselRecord::order_version identifies stale-order morsels.
+///
+/// Validation mirrors the single-threaded driver at window granularity:
+/// the first complete window executed under a new order is compared, in
+/// cycles per tuple, against the window that preceded the change, and the
+/// old order is re-established on regression (Section 4.4).
+class ParallelProgressiveCoordinator {
+ public:
+  ParallelProgressiveCoordinator(PipelineExecutor* control,
+                                 ProgressiveConfig config);
+
+  /// ParallelDriver::MorselHook entry point. Returns an order to broadcast
+  /// when a window triggers a reorder (or a validation revert).
+  std::optional<std::vector<size_t>> OnMorsel(const MorselRecord& record);
+
+  /// Exports the PEO trace into `report` (call after the drive completes;
+  /// `drive` is filled by the caller).
+  void FillReport(ParallelProgressiveReport* report) const;
+
+ private:
+  std::optional<std::vector<size_t>> DecideOnWindow(
+      const VectorSample& merged);
+
+  PipelineExecutor* control_;
+  ProgressiveConfig config_;
+  SampleMerger window_;
+  uint64_t version_ = 0;  ///< broadcasts issued; mirrors the driver's version
+  std::vector<PeoChange> changes_;
+  size_t num_optimizations_ = 0;
+  std::vector<double> last_estimate_;
+  size_t stale_morsels_ = 0;
+  // Validation + hysteresis state, mirroring ProgressiveOptimizer.
+  struct PendingValidation {
+    std::vector<size_t> old_order;
+    double old_cycles_per_tuple = 0;
+    bool exploration = false;
+  };
+  std::optional<PendingValidation> pending_;
+  double last_cycles_per_tuple_ = 0;
+  size_t optimization_count_ = 0;
   std::vector<size_t> recently_reverted_;
   int hysteresis_ttl_ = 0;
 };

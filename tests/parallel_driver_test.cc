@@ -1,0 +1,329 @@
+#include "exec/parallel_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/prng.h"
+#include "core/engine.h"
+
+// Determinism and equivalence coverage for sharded execution (DESIGN.md
+// "Parallel execution"):
+//  - num_threads = 1 reproduces VectorDriver / ExecuteBaseline
+//    bit-identically (counters, aggregate, simulated_msec);
+//  - num_threads in {2, 4, 8} agree with the single-threaded result on
+//    qualifying_tuples and the (bitwise) aggregate, run after run, under
+//    work-stealing schedules;
+//  - the merge interleaves per-morsel samples deterministically by index.
+// ci/check.sh runs this suite twice, with NIPO_TEST_THREADS=1 and =8; the
+// env var *replaces* the default sweep below, so the two CI passes
+// exercise genuinely different configurations (single-shard only, then
+// 8-shard only).
+
+namespace nipo {
+namespace {
+
+std::vector<size_t> TestThreadCounts() {
+  if (const char* env = std::getenv("NIPO_TEST_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return {static_cast<size_t>(parsed)};
+  }
+  return {1, 2, 4, 8};
+}
+
+std::unique_ptr<Table> MakeTable(const std::string& name, size_t n,
+                                 uint64_t seed = 1) {
+  Prng prng(seed);
+  std::vector<int32_t> a(n), b(n), c(n);
+  std::vector<int64_t> payload(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(prng.NextBounded(100));
+    b[i] = static_cast<int32_t>(prng.NextBounded(100));
+    c[i] = static_cast<int32_t>(prng.NextBounded(100));
+    payload[i] = static_cast<int64_t>(prng.NextBounded(1000));
+  }
+  auto t = std::make_unique<Table>(name);
+  EXPECT_TRUE(t->AddColumn("a", std::move(a)).ok());
+  EXPECT_TRUE(t->AddColumn("b", std::move(b)).ok());
+  EXPECT_TRUE(t->AddColumn("c", std::move(c)).ok());
+  EXPECT_TRUE(t->AddColumn("payload", std::move(payload)).ok());
+  return t;
+}
+
+// Worst-first order: the most selective predicate (c < 2) runs last.
+QuerySpec MakeQuery() {
+  QuerySpec q;
+  q.table = "t";
+  q.ops = {OperatorSpec::Predicate({"a", CompareOp::kLt, 90.0}),
+           OperatorSpec::Predicate({"b", CompareOp::kLt, 50.0}),
+           OperatorSpec::Predicate({"c", CompareOp::kLt, 2.0})};
+  q.payload_columns = {"payload"};
+  return q;
+}
+
+Engine MakeEngine(size_t rows) {
+  Engine engine(HwConfig::ScaledXeon(8));
+  EXPECT_TRUE(engine.RegisterTable(MakeTable("t", rows)).ok());
+  return engine;
+}
+
+TEST(ParallelDriverTest, SingleThreadIsBitIdenticalToVectorDriver) {
+  Table table("t");
+  Prng prng(3);
+  std::vector<int32_t> a(50'000);
+  for (auto& v : a) v = static_cast<int32_t>(prng.NextBounded(100));
+  ASSERT_TRUE(table.AddColumn("a", std::move(a)).ok());
+  const std::vector<OperatorSpec> ops = {
+      OperatorSpec::Predicate({"a", CompareOp::kLt, 30.0})};
+
+  Pmu reference_pmu(HwConfig::ScaledXeon(8));
+  auto reference =
+      PipelineExecutor::Compile(table, ops, {}, &reference_pmu);
+  ASSERT_TRUE(reference.ok());
+  VectorDriver vector_driver(reference.ValueOrDie().get(), 4'096);
+  const DriveResult expected = vector_driver.Run();
+
+  ParallelConfig config;
+  config.num_threads = 1;
+  config.morsel_size = 4'096;
+  ParallelDriver driver(
+      Pmu(HwConfig::ScaledXeon(8)),
+      [&](Pmu* pmu) { return PipelineExecutor::Compile(table, ops, {}, pmu); },
+      config);
+  auto result = driver.Run();
+  ASSERT_TRUE(result.ok());
+  const ParallelDriveResult& par = result.ValueOrDie();
+
+  EXPECT_EQ(par.merged.total, expected.total);  // every counter, exactly
+  EXPECT_EQ(par.merged.input_tuples, expected.input_tuples);
+  EXPECT_EQ(par.merged.qualifying_tuples, expected.qualifying_tuples);
+  EXPECT_EQ(par.merged.aggregate, expected.aggregate);  // bitwise
+  EXPECT_EQ(par.merged.simulated_msec, expected.simulated_msec);
+  EXPECT_EQ(par.merged.num_vectors, expected.num_vectors);
+  EXPECT_EQ(par.num_morsels, expected.num_vectors);
+  ASSERT_EQ(par.workers.size(), 1u);
+  EXPECT_EQ(par.workers[0].morsels, expected.num_vectors);
+  EXPECT_EQ(par.workers[0].steals, 0u);
+}
+
+TEST(ParallelDriverTest, EngineSingleThreadMatchesExecuteBaseline) {
+  Engine engine = MakeEngine(60'000);
+  auto base = engine.ExecuteBaseline(MakeQuery(), 2'048);
+  ASSERT_TRUE(base.ok());
+  ParallelOptions options;
+  options.num_threads = 1;
+  options.morsel_size = 2'048;
+  auto par = engine.ExecuteBaselineParallel(MakeQuery(), options);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par.ValueOrDie().drive.merged.total,
+            base.ValueOrDie().drive.total);
+  EXPECT_EQ(par.ValueOrDie().drive.merged.aggregate,
+            base.ValueOrDie().drive.aggregate);
+  EXPECT_EQ(par.ValueOrDie().drive.merged.simulated_msec,
+            base.ValueOrDie().drive.simulated_msec);
+  EXPECT_EQ(par.ValueOrDie().order, base.ValueOrDie().order);
+}
+
+TEST(ParallelDriverTest, ThreadCountsAgreeOnResultsAcrossRuns) {
+  Engine engine = MakeEngine(60'000);
+  auto base = engine.ExecuteBaseline(MakeQuery(), 2'048);
+  ASSERT_TRUE(base.ok());
+  const uint64_t expected_qualifying = base.ValueOrDie().drive.qualifying_tuples;
+  const double expected_aggregate = base.ValueOrDie().drive.aggregate;
+  for (size_t threads : TestThreadCounts()) {
+    for (int run = 0; run < 2; ++run) {
+      ParallelOptions options;
+      options.num_threads = threads;
+      options.morsel_size = 2'048;
+      auto par = engine.ExecuteBaselineParallel(MakeQuery(), options);
+      ASSERT_TRUE(par.ok());
+      const ParallelDriveResult& drive = par.ValueOrDie().drive;
+      EXPECT_EQ(drive.merged.qualifying_tuples, expected_qualifying)
+          << threads << " threads, run " << run;
+      // The morsel-index-ordered merge makes the floating-point sum
+      // bit-stable across schedules and thread counts.
+      EXPECT_EQ(drive.merged.aggregate, expected_aggregate)
+          << threads << " threads, run " << run;
+      EXPECT_EQ(drive.merged.input_tuples, 60'000u);
+      // Work conservation: every morsel executed exactly once.
+      uint64_t morsels = 0;
+      for (const WorkerStats& w : drive.workers) morsels += w.morsels;
+      EXPECT_EQ(morsels, drive.num_morsels);
+    }
+  }
+}
+
+TEST(ParallelDriverTest, SamplesInterleaveDeterministicallyByMorselIndex) {
+  Engine engine = MakeEngine(30'000);
+  auto table = engine.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  const QuerySpec query = MakeQuery();
+  ParallelConfig config;
+  config.num_threads = 4;
+  config.morsel_size = 1'024;
+  config.sample_counters = true;
+  ParallelDriver driver(
+      engine.NewMachine(),
+      [&](Pmu* pmu) {
+        return PipelineExecutor::Compile(*table.ValueOrDie(), query.ops,
+                                         query.payload_columns, pmu);
+      },
+      config);
+  auto result = driver.Run();
+  ASSERT_TRUE(result.ok());
+  const ParallelDriveResult& par = result.ValueOrDie();
+  ASSERT_EQ(par.samples.size(), par.num_morsels);
+  PmuCounters event_sum;
+  uint64_t tuple_sum = 0;
+  for (size_t m = 0; m < par.samples.size(); ++m) {
+    EXPECT_EQ(par.samples[m].sample.vector_index, m);
+    EXPECT_LT(par.samples[m].worker_id, config.num_threads);
+    EXPECT_EQ(par.samples[m].order_version, 0u);  // no hook, no broadcasts
+    event_sum += par.samples[m].sample.counters;
+    tuple_sum += par.samples[m].sample.result.input_tuples;
+  }
+  EXPECT_EQ(tuple_sum, 30'000u);
+  // Event counters (not cycles: the read-pair charges land partly outside
+  // the per-morsel windows) sum exactly to the merged totals.
+  EXPECT_EQ(event_sum.branches, par.merged.total.branches);
+  EXPECT_EQ(event_sum.branches_not_taken,
+            par.merged.total.branches_not_taken);
+  EXPECT_EQ(event_sum.l3_accesses, par.merged.total.l3_accesses);
+  EXPECT_EQ(event_sum.instructions, par.merged.total.instructions);
+}
+
+TEST(ParallelDriverTest, HookBroadcastReachesAllWorkers) {
+  Engine engine = MakeEngine(40'000);
+  auto table = engine.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  const QuerySpec query = MakeQuery();
+  ParallelConfig config;
+  config.num_threads = 4;
+  config.morsel_size = 1'024;
+  bool broadcast_sent = false;
+  ParallelDriver driver(
+      engine.NewMachine(),
+      [&](Pmu* pmu) {
+        return PipelineExecutor::Compile(*table.ValueOrDie(), query.ops,
+                                         query.payload_columns, pmu);
+      },
+      config);
+  auto result =
+      driver.Run(std::nullopt,
+                 [&](const MorselRecord& record)
+                     -> std::optional<std::vector<size_t>> {
+                   if (!broadcast_sent && record.sample.vector_index >= 3) {
+                     broadcast_sent = true;
+                     return std::vector<size_t>{2, 1, 0};
+                   }
+                   return std::nullopt;
+                 });
+  ASSERT_TRUE(result.ok());
+  const ParallelDriveResult& par = result.ValueOrDie();
+  EXPECT_TRUE(broadcast_sent);
+  // Late morsels ran under the broadcast order; results are unaffected.
+  uint64_t new_order_morsels = 0;
+  for (const MorselRecord& record : par.samples) {
+    if (record.order_version == 1) ++new_order_morsels;
+  }
+  EXPECT_GT(new_order_morsels, 0u);
+  auto base = engine.ExecuteBaseline(MakeQuery(), 1'024);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(par.merged.qualifying_tuples,
+            base.ValueOrDie().drive.qualifying_tuples);
+  EXPECT_EQ(par.merged.aggregate, base.ValueOrDie().drive.aggregate);
+}
+
+TEST(ParallelDriverTest, ProgressiveParallelMatchesBaselineResults) {
+  Engine engine = MakeEngine(120'000);
+  auto base = engine.ExecuteBaseline(MakeQuery(), 2'048);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : TestThreadCounts()) {
+    ProgressiveConfig config;
+    config.vector_size = 2'048;
+    config.reopt_interval = 2;
+    ParallelOptions options;
+    options.num_threads = threads;
+    auto prog = engine.ExecuteProgressiveParallel(MakeQuery(), config,
+                                                  options);
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.ValueOrDie().drive.merged.qualifying_tuples,
+              base.ValueOrDie().drive.qualifying_tuples)
+        << threads << " threads";
+    EXPECT_EQ(prog.ValueOrDie().drive.merged.aggregate,
+              base.ValueOrDie().drive.aggregate)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelDriverTest, ProgressiveParallelReordersWorstFirstOrder) {
+  Engine engine = MakeEngine(120'000);
+  ProgressiveConfig config;
+  config.vector_size = 2'048;
+  config.reopt_interval = 2;
+  ParallelOptions options;
+  options.num_threads = 1;  // deterministic coordinator schedule
+  auto prog =
+      engine.ExecuteProgressiveParallel(MakeQuery(), config, options);
+  ASSERT_TRUE(prog.ok());
+  const ParallelProgressiveReport& report = prog.ValueOrDie();
+  // The query is worst-first (c, the ~2% predicate, evaluated last); the
+  // merged-window coordinator must discover and broadcast a better order.
+  ASSERT_FALSE(report.changes.empty());
+  ASSERT_EQ(report.final_order.size(), 3u);
+  EXPECT_EQ(report.final_order.front(), 2u);  // most selective first
+  // Progressive beats the worst-first fixed order on machine time.
+  auto base = engine.ExecuteBaseline(MakeQuery(), 2'048);
+  ASSERT_TRUE(base.ok());
+  EXPECT_LT(report.drive.merged.simulated_msec,
+            base.ValueOrDie().drive.simulated_msec);
+}
+
+TEST(ParallelDriverTest, ProgressiveSingleThreadIsDeterministic) {
+  Engine engine = MakeEngine(80'000);
+  ProgressiveConfig config;
+  config.vector_size = 2'048;
+  config.reopt_interval = 2;
+  ParallelOptions options;
+  options.num_threads = 1;
+  auto a = engine.ExecuteProgressiveParallel(MakeQuery(), config, options);
+  auto b = engine.ExecuteProgressiveParallel(MakeQuery(), config, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.ValueOrDie().drive.merged.total,
+            b.ValueOrDie().drive.merged.total);
+  EXPECT_EQ(a.ValueOrDie().final_order, b.ValueOrDie().final_order);
+  EXPECT_EQ(a.ValueOrDie().changes.size(), b.ValueOrDie().changes.size());
+}
+
+TEST(ParallelDriverTest, ErrorsPropagate) {
+  Engine engine = MakeEngine(1'000);
+  ParallelOptions options;
+  options.num_threads = 0;
+  EXPECT_EQ(
+      engine.ExecuteBaselineParallel(MakeQuery(), options).status().code(),
+      StatusCode::kInvalidArgument);
+  options.num_threads = 2;
+  options.morsel_size = 0;
+  EXPECT_EQ(
+      engine.ExecuteBaselineParallel(MakeQuery(), options).status().code(),
+      StatusCode::kInvalidArgument);
+  options.morsel_size = 1'024;
+  QuerySpec bad = MakeQuery();
+  bad.table = "missing";
+  EXPECT_EQ(engine.ExecuteBaselineParallel(bad, options).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(engine
+                   .ExecuteBaselineParallel(MakeQuery(), options,
+                                            std::vector<size_t>{0, 0, 0})
+                   .ok());
+  ProgressiveConfig config;
+  config.vector_size = 0;
+  EXPECT_EQ(engine.ExecuteProgressiveParallel(MakeQuery(), config, options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nipo
