@@ -13,8 +13,10 @@
 /// reproduction target (see EXPERIMENTS.md).
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,113 @@ inline std::vector<double> ShipdateSelectivityGrid() {
 
 inline std::string PercentLabel(double fraction) {
   return FormatDouble(fraction * 100.0, 4) + "%";
+}
+
+// ---------------------------------------------------------------------------
+// --json support: benches that track a perf trajectory write a
+// BENCH_<name>.json artifact next to their table output, so CI can archive
+// machine-readable results across PRs (see EXPERIMENTS.md "Perf
+// trajectory").
+// ---------------------------------------------------------------------------
+
+/// \brief Minimal JSON value builder (objects, arrays, numbers, strings,
+/// booleans) — just enough for flat bench artifacts, no external deps.
+class JsonValue {
+ public:
+  static JsonValue Object() { return JsonValue("{", "}"); }
+  static JsonValue Array() { return JsonValue("[", "]"); }
+
+  JsonValue& Add(const std::string& key, double v) {
+    return AddRaw(key, NumberToString(v));
+  }
+  JsonValue& Add(const std::string& key, uint64_t v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonValue& Add(const std::string& key, int v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonValue& Add(const std::string& key, bool v) {
+    return AddRaw(key, v ? "true" : "false");
+  }
+  JsonValue& Add(const std::string& key, const std::string& v) {
+    return AddRaw(key, Quote(v));
+  }
+  JsonValue& Add(const std::string& key, const char* v) {
+    return AddRaw(key, Quote(v));
+  }
+  JsonValue& Add(const std::string& key, const JsonValue& v) {
+    return AddRaw(key, v.ToString());
+  }
+  /// Array element (no key); valid only on Array() values.
+  JsonValue& Push(const JsonValue& v) { return AddRaw("", v.ToString()); }
+
+  std::string ToString() const {
+    std::string out = open_;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += items_[i];
+    }
+    out += close_;
+    return out;
+  }
+
+ private:
+  JsonValue(std::string open, std::string close)
+      : open_(std::move(open)), close_(std::move(close)) {}
+
+  JsonValue& AddRaw(const std::string& key, const std::string& value) {
+    items_.push_back(key.empty() ? value : Quote(key) + ":" + value);
+    return *this;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string NumberToString(double v) {
+    std::ostringstream out;
+    out.precision(12);
+    out << v;
+    return out.str();
+  }
+
+  std::string open_, close_;
+  std::vector<std::string> items_;
+};
+
+/// Parses a `--json[=path]` flag. Returns true iff the flag is present;
+/// `*path` receives the explicit path or `default_path`.
+inline bool ParseJsonFlag(int argc, char** argv,
+                          const std::string& default_path,
+                          std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      *path = default_path;
+      return true;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      *path = arg.substr(7);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Writes `value` to `path` (with a trailing newline) and reports where.
+inline void WriteJsonArtifact(const std::string& path,
+                              const JsonValue& value) {
+  std::ofstream out(path);
+  NIPO_CHECK(out.good());
+  out << value.ToString() << "\n";
+  NIPO_CHECK(out.good());
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace nipo::bench

@@ -15,9 +15,13 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nipo;
   using namespace nipo::bench;
+
+  std::string json_path;
+  const bool write_json =
+      ParseJsonFlag(argc, argv, "BENCH_scale_threads.json", &json_path);
 
   // SF 0.1 = 600k lineitems: large enough that per-morsel work dwarfs
   // scheduling overhead, small enough for a laptop-budget sweep.
@@ -37,6 +41,7 @@ int main() {
   table.SetHeader({"threads", "wall msec", "wall speedup", "critical msec",
                    "critical speedup", "max steals"});
   double wall_1 = 0, critical_1 = 0;
+  JsonValue sweep = JsonValue::Array();
   for (size_t threads : {1u, 2u, 4u, 8u, 16u}) {
     ParallelOptions options;
     options.num_threads = threads;
@@ -57,6 +62,11 @@ int main() {
     for (const WorkerStats& w : drive.workers) {
       max_steals = std::max(max_steals, w.steals);
     }
+    sweep.Push(JsonValue::Object()
+                   .Add("threads", threads)
+                   .Add("wall_msec", drive.wall_msec)
+                   .Add("critical_msec", drive.merged.simulated_msec)
+                   .Add("max_steals", max_steals));
     table.AddRow({std::to_string(threads), FormatDouble(drive.wall_msec, 1),
                   FormatDouble(wall_1 / drive.wall_msec, 2) + "x",
                   FormatDouble(drive.merged.simulated_msec, 3),
@@ -92,5 +102,13 @@ int main() {
   prog_table.Print(std::cout);
   std::cout << "note: wall-clock speedup requires physical cores; the\n"
                "simulated critical path shows the sharding itself.\n";
+
+  if (write_json) {
+    JsonValue root = JsonValue::Object();
+    root.Add("bench", "scale_threads");
+    root.Add("morsel_size", kMorselSize);
+    root.Add("baseline_sweep", sweep);
+    WriteJsonArtifact(json_path, root);
+  }
   return 0;
 }

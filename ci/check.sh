@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The tier-1 verify recipe, executable: configure -> build -> ctest, run
 # twice (1-thread and 8-thread parallel-driver configs via the
-# NIPO_TEST_THREADS env var), then the parallel tests again under a
-# ThreadSanitizer build (skip with NIPO_TSAN=0).
+# NIPO_TEST_THREADS env var), then a perf-smoke run of the simulator
+# throughput bench (its correctness gate asserts scalar/batched counter
+# bit-identity; skip with NIPO_PERF_SMOKE=0), then the parallel tests
+# again under a ThreadSanitizer build (skip with NIPO_TSAN=0).
 # Usage: ci/check.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -16,6 +18,18 @@ for threads in 1 8; do
   (cd "$BUILD_DIR" && NIPO_TEST_THREADS=$threads \
       ctest --output-on-failure -j "$(nproc)")
 done
+
+# Perf smoke: a quick sim_throughput run. The binary NIPO_CHECK-fails if
+# any configuration's scalar and batched counters diverge, so this doubles
+# as an end-to-end counter-invariance gate. The smoke artifact goes into
+# the build dir — the *committed* repo-root BENCH_sim_throughput.json is
+# the full-run trajectory anchor (EXPERIMENTS.md "Perf trajectory") and
+# must only be refreshed by a deliberate non---quick run.
+if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
+  echo "== perf smoke: sim_throughput =="
+  "$BUILD_DIR"/bench/sim_throughput --quick \
+      --json="$BUILD_DIR"/BENCH_sim_throughput.json
+fi
 
 # ThreadSanitizer pass over the sharded-execution tests. Tests only (no
 # benches/examples) keeps the second build tree small.

@@ -83,6 +83,14 @@ class Engine {
 
   const HwConfig& hw_config() const { return hw_; }
 
+  /// Event-reporting mode of every machine this engine builds (see
+  /// ReportingMode in hw/pmu.h). kBatched — the default — and kScalar
+  /// produce bit-identical counters; the scalar mode exists for
+  /// differential tests and for measuring the batching speedup
+  /// (bench/sim_throughput.cc).
+  ReportingMode reporting_mode() const { return reporting_mode_; }
+  void set_reporting_mode(ReportingMode mode) { reporting_mode_ = mode; }
+
   /// Executes `query` with a fixed evaluation order on a fresh machine.
   /// `order`, if given, permutes query.ops; otherwise the spec order runs.
   Result<BaselineReport> ExecuteBaseline(
@@ -118,13 +126,18 @@ class Engine {
   /// caches, neutral predictor). Single-threaded entry points run on this
   /// machine directly; the parallel driver clones it per worker
   /// (Pmu::CloneFresh), so the two paths cannot drift apart.
-  Pmu NewMachine() const { return Pmu(hw_); }
+  Pmu NewMachine() const {
+    Pmu pmu(hw_);
+    pmu.set_reporting_mode(reporting_mode_);
+    return pmu;
+  }
 
  private:
   Result<std::unique_ptr<PipelineExecutor>> CompileQuery(
       const QuerySpec& query, Pmu* pmu, InstrumentationMode mode) const;
 
   HwConfig hw_;
+  ReportingMode reporting_mode_ = ReportingMode::kBatched;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };
 

@@ -1,11 +1,14 @@
 #include "exec/hash_aggregate.h"
 
 #include <algorithm>
+#include <limits>
 
 /// \file hash_aggregate.cc
 /// Instrumented hash GROUP BY: binds group/payload columns, runs the
-/// optional predicate chain in its configured order, and accumulates
-/// SUM/COUNT per group through the PMU-visible hash table.
+/// optional predicate chain in its configured order over kSimBlockRows
+/// blocks (per-block load runs and branch runs for the PMU's batched
+/// reporting layer), and accumulates SUM/COUNT per group through the
+/// PMU-visible hash table.
 
 namespace nipo {
 
@@ -76,6 +79,10 @@ Result<HashAggregateResult> ExecuteHashAggregate(
 
   HashAggregateResult result;
   result.input_rows = spec.table->num_rows();
+  if (result.input_rows > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "input exceeds the 2^32-row block-gather range");
+  }
 
   // Aggregation state: group key -> dense state index; sums held in
   // per-aggregate arrays plus a count array. Sized generously; grows on
@@ -88,49 +95,83 @@ Result<HashAggregateResult> ExecuteHashAggregate(
   const size_t loop_site = spec.filters.size();
   pmu->EnsureBranchSites(spec.filters.size() + 1);
 
-  for (size_t row = 0; row < spec.table->num_rows(); ++row) {
-    pmu->OnInstructions(1);
-    bool pass = true;
-    for (size_t f = 0; f < spec.filters.size(); ++f) {
+  // Blocked operator-at-a-time loop, mirroring PipelineExecutor: per
+  // block, each filter runs over all its still-active rows (stride-1 run
+  // or gather for the PMU), survivors feed one group-key gather, the
+  // per-row hash-table upkeep, and one gather per aggregate column.
+  const size_t num_rows = spec.table->num_rows();
+  std::vector<uint32_t> sel, next_sel, state_idx;
+  std::vector<uint8_t> pass;
+  for (size_t block = 0; block < num_rows; block += kSimBlockRows) {
+    const size_t n = std::min(kSimBlockRows, num_rows - block);
+    pmu->OnInstructions(n);  // loop bookkeeping
+    bool dense = true;
+    size_t active = n;
+    for (size_t f = 0; f < spec.filters.size() && active > 0; ++f) {
       const BoundColumn& col = filter_cols[f];
-      pmu->OnLoad(col.data + static_cast<uint64_t>(row) * col.width,
-                  col.width);
-      pmu->OnInstructions(1);
-      const bool ok = EvaluateCompare(LoadAsDouble(col, row),
-                                      spec.filters[f].op,
-                                      spec.filters[f].value);
-      pmu->OnBranch(f, !ok);
-      if (!ok) {
-        pass = false;
-        break;
+      const uint8_t* block_base =
+          col.data + static_cast<uint64_t>(block) * col.width;
+      if (dense) {
+        pmu->OnSequentialLoads(block_base, col.width, active);
+      } else {
+        pmu->OnGatherLoads(block_base, col.width, sel.data(), active);
       }
+      pmu->OnInstructions(active);  // the compares
+      pass.resize(active);
+      next_sel.clear();
+      for (size_t j = 0; j < active; ++j) {
+        const uint32_t offset = dense ? static_cast<uint32_t>(j) : sel[j];
+        const bool ok =
+            EvaluateCompare(LoadAsDouble(col, block + offset),
+                            spec.filters[f].op, spec.filters[f].value);
+        pass[j] = ok;
+        if (ok) next_sel.push_back(offset);
+      }
+      pmu->OnPredicateBranches(f, pass.data(), active);
+      sel.swap(next_sel);
+      active = sel.size();
+      dense = false;
     }
-    if (pass) {
-      ++result.passed_filter;
-      pmu->OnLoad(group_col.data + static_cast<uint64_t>(row) *
-                                       group_col.width,
-                  group_col.width);
-      const int64_t group = LoadAsInt64(group_col, row);
-      int64_t state_index = 0;
-      if (!groups.Lookup(group, &state_index)) {
-        state_index = static_cast<int64_t>(counts.size());
-        // A growing group table would rehash; with the small group
-        // domains of the workloads here the initial size suffices.
-        NIPO_RETURN_NOT_OK(groups.Insert(group, state_index));
-        group_keys.push_back(group);
-        counts.push_back(0);
-        for (auto& s : sums) s.push_back(0);
+    if (dense) {
+      // No filters: every block row survives.
+      sel.resize(n);
+      for (size_t j = 0; j < n; ++j) sel[j] = static_cast<uint32_t>(j);
+      active = n;
+    }
+    result.passed_filter += active;
+
+    if (active > 0) {
+      pmu->OnGatherLoads(
+          group_col.data + static_cast<uint64_t>(block) * group_col.width,
+          group_col.width, sel.data(), active);
+      state_idx.resize(active);
+      for (size_t j = 0; j < active; ++j) {
+        const int64_t group = LoadAsInt64(group_col, block + sel[j]);
+        int64_t state_index = 0;
+        if (!groups.Lookup(group, &state_index)) {
+          state_index = static_cast<int64_t>(counts.size());
+          // A growing group table would rehash; with the small group
+          // domains of the workloads here the initial size suffices.
+          NIPO_RETURN_NOT_OK(groups.Insert(group, state_index));
+          group_keys.push_back(group);
+          counts.push_back(0);
+          for (auto& s : sums) s.push_back(0);
+        }
+        ++counts[static_cast<size_t>(state_index)];
+        state_idx[j] = static_cast<uint32_t>(state_index);
       }
-      ++counts[static_cast<size_t>(state_index)];
       for (size_t a = 0; a < agg_cols.size(); ++a) {
         const BoundColumn& col = agg_cols[a];
-        pmu->OnLoad(col.data + static_cast<uint64_t>(row) * col.width,
-                    col.width);
-        pmu->OnInstructions(1);
-        sums[a][static_cast<size_t>(state_index)] += LoadAsInt64(col, row);
+        pmu->OnGatherLoads(
+            col.data + static_cast<uint64_t>(block) * col.width, col.width,
+            sel.data(), active);
+        pmu->OnInstructions(active);  // the adds
+        for (size_t j = 0; j < active; ++j) {
+          sums[a][state_idx[j]] += LoadAsInt64(col, block + sel[j]);
+        }
       }
     }
-    pmu->OnBranch(loop_site, true);
+    pmu->OnBranchRun(loop_site, /*taken=*/true, n);
   }
 
   // Emit groups sorted by key (result formatting is not measured work).

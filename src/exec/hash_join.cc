@@ -1,6 +1,10 @@
 #include "exec/hash_join.h"
 
 #include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "exec/operators.h"
 
 /// \file hash_join.cc
 /// Instrumented hash equi-join: build-side insertion keyed on an
@@ -63,25 +67,38 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   result.build_rows = spec.build->num_rows();
   result.probe_rows = spec.probe->num_rows();
 
-  // --- build phase: scan the key column, insert row ids.
+  if (spec.build->num_rows() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "build side exceeds the 2^32-row payload-gather range");
+  }
+
+  // --- build phase: scan the key column blockwise (one stride-1 load run
+  // per block), insert row ids.
   InstrumentedHashTable table(spec.build->num_rows(), pmu);
   const uint8_t* key_data =
       static_cast<const uint8_t*>(build_key->data());
   const uint32_t key_width = static_cast<uint32_t>(build_key->value_width());
-  for (size_t row = 0; row < spec.build->num_rows(); ++row) {
-    pmu->OnLoad(key_data + static_cast<uint64_t>(row) * key_width,
-                key_width);
-    NIPO_ASSIGN_OR_RETURN(const int64_t key, KeyAt(*build_key, row));
-    const Status st = table.Insert(key, static_cast<int64_t>(row));
-    if (st.code() == StatusCode::kAlreadyExists) {
-      return Status::InvalidArgument(
-          "duplicate build key " + std::to_string(key) +
-          ": ExecuteHashJoin implements key-FK joins");
+  const size_t build_rows = spec.build->num_rows();
+  for (size_t block = 0; block < build_rows; block += kSimBlockRows) {
+    const size_t n = std::min(kSimBlockRows, build_rows - block);
+    pmu->OnSequentialLoads(key_data + static_cast<uint64_t>(block) * key_width,
+                           key_width, n);
+    for (size_t row = block; row < block + n; ++row) {
+      NIPO_ASSIGN_OR_RETURN(const int64_t key, KeyAt(*build_key, row));
+      const Status st = table.Insert(key, static_cast<int64_t>(row));
+      if (st.code() == StatusCode::kAlreadyExists) {
+        return Status::InvalidArgument(
+            "duplicate build key " + std::to_string(key) +
+            ": ExecuteHashJoin implements key-FK joins");
+      }
+      NIPO_RETURN_NOT_OK(st);
     }
-    NIPO_RETURN_NOT_OK(st);
   }
+  const HashTableStats build_stats = table.stats();
 
-  // --- probe phase: stream the probe keys, look up, fetch payload.
+  // --- probe phase: per block, one load run over the probe keys, the
+  // per-key table lookups, then one payload gather over the matches (in
+  // row order, so the double-summation order is block-size independent).
   const uint8_t* probe_data =
       static_cast<const uint8_t*>(probe_key->data());
   const uint32_t probe_width =
@@ -91,24 +108,36 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
                          : nullptr;
   const uint32_t payload_width =
       payload != nullptr ? static_cast<uint32_t>(payload->value_width()) : 0;
-  for (size_t row = 0; row < spec.probe->num_rows(); ++row) {
-    pmu->OnLoad(probe_data + static_cast<uint64_t>(row) * probe_width,
-                probe_width);
-    NIPO_ASSIGN_OR_RETURN(const int64_t key, KeyAt(*probe_key, row));
-    int64_t build_row = 0;
-    if (table.Lookup(key, &build_row)) {
-      ++result.matches;
-      if (payload != nullptr) {
-        pmu->OnLoad(payload_data +
-                        static_cast<uint64_t>(build_row) * payload_width,
-                    payload_width);
-        pmu->OnInstructions(1);  // accumulate
-        result.payload_sum +=
-            ValueAt(*payload, static_cast<size_t>(build_row));
+  const size_t probe_rows = spec.probe->num_rows();
+  std::vector<uint32_t> match_rows;
+  match_rows.reserve(std::min(probe_rows, kSimBlockRows));
+  for (size_t block = 0; block < probe_rows; block += kSimBlockRows) {
+    const size_t n = std::min(kSimBlockRows, probe_rows - block);
+    pmu->OnSequentialLoads(
+        probe_data + static_cast<uint64_t>(block) * probe_width, probe_width,
+        n);
+    match_rows.clear();
+    for (size_t row = block; row < block + n; ++row) {
+      NIPO_ASSIGN_OR_RETURN(const int64_t key, KeyAt(*probe_key, row));
+      int64_t build_row = 0;
+      if (table.Lookup(key, &build_row)) {
+        ++result.matches;
+        match_rows.push_back(static_cast<uint32_t>(build_row));
+      }
+    }
+    if (payload != nullptr && !match_rows.empty()) {
+      pmu->OnGatherLoads(payload_data, payload_width, match_rows.data(),
+                         match_rows.size());
+      pmu->OnInstructions(match_rows.size());  // the accumulates
+      for (const uint32_t build_row : match_rows) {
+        result.payload_sum += ValueAt(*payload, build_row);
       }
     }
   }
-  result.average_probe_length = table.average_probe_length();
+  // Probe-phase window (build touches subtracted), consistent with how
+  // PMU counters are windowed around the probe.
+  result.average_probe_length =
+      (table.stats() - build_stats).average_probe_length();
   return result;
 }
 

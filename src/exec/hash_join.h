@@ -39,6 +39,8 @@ struct HashJoinResult {
   uint64_t probe_rows = 0;
   uint64_t matches = 0;
   double payload_sum = 0.0;
+  /// Average probe chain length of the *probe phase* (windowed via
+  /// HashTableStats subtraction, so build-phase touches don't dilute it).
   double average_probe_length = 0.0;
 };
 

@@ -29,11 +29,28 @@ InstrumentedHashTable::InstrumentedHashTable(size_t expected_entries,
   max_size_ = capacity - capacity / 8;  // 7/8 load limit
 }
 
-void InstrumentedHashTable::TouchSlot(size_t index) const {
-  ++slot_touches_;
-  // One hash-or-compare instruction plus the slot load.
-  pmu_->OnInstructions(1);
-  pmu_->OnLoad(&slots_[index], sizeof(Slot));
+size_t InstrumentedHashTable::ChainLength(size_t index, int64_t key) const {
+  size_t length = 1;  // the terminal slot (empty or matching) is touched too
+  size_t i = index;
+  while (slots_[i].occupied && slots_[i].key != key) {
+    ++length;
+    i = (i + 1) & mask_;
+  }
+  return length;
+}
+
+void InstrumentedHashTable::ReportChain(size_t index, size_t length) const {
+  slot_touches_ += length;
+  // One hash-or-compare instruction plus the slot load per touch.
+  pmu_->OnInstructions(length);
+  const size_t capacity = slots_.size();
+  if (index + length <= capacity) {
+    pmu_->OnSequentialLoads(&slots_[index], sizeof(Slot), length);
+  } else {
+    const size_t until_wrap = capacity - index;
+    pmu_->OnSequentialLoads(&slots_[index], sizeof(Slot), until_wrap);
+    pmu_->OnSequentialLoads(&slots_[0], sizeof(Slot), length - until_wrap);
+  }
 }
 
 Status InstrumentedHashTable::Insert(int64_t key, int64_t value) {
@@ -41,63 +58,51 @@ Status InstrumentedHashTable::Insert(int64_t key, int64_t value) {
     return Status::CapacityExceeded("hash table past its load limit");
   }
   ++operations_;
-  size_t index = IndexOf(key);
-  while (true) {
-    TouchSlot(index);
-    Slot& slot = slots_[index];
-    if (!slot.occupied) {
-      slot.key = key;
-      slot.value = value;
-      slot.occupied = true;
-      ++size_;
-      return Status::OK();
-    }
-    if (slot.key == key) {
-      return Status::AlreadyExists("duplicate key " + std::to_string(key));
-    }
-    index = (index + 1) & mask_;
+  const size_t index = IndexOf(key);
+  const size_t length = ChainLength(index, key);
+  ReportChain(index, length);
+  Slot& slot = slots_[(index + length - 1) & mask_];
+  if (slot.occupied) {
+    return Status::AlreadyExists("duplicate key " + std::to_string(key));
   }
+  slot.key = key;
+  slot.value = value;
+  slot.occupied = true;
+  ++size_;
+  return Status::OK();
 }
 
 bool InstrumentedHashTable::Lookup(int64_t key, int64_t* value) const {
   ++operations_;
-  size_t index = IndexOf(key);
-  while (true) {
-    TouchSlot(index);
-    const Slot& slot = slots_[index];
-    if (!slot.occupied) return false;
-    if (slot.key == key) {
-      if (value != nullptr) *value = slot.value;
-      return true;
-    }
-    index = (index + 1) & mask_;
-  }
+  const size_t index = IndexOf(key);
+  const size_t length = ChainLength(index, key);
+  ReportChain(index, length);
+  const Slot& slot = slots_[(index + length - 1) & mask_];
+  if (!slot.occupied) return false;
+  if (value != nullptr) *value = slot.value;
+  return true;
 }
 
 Status InstrumentedHashTable::Accumulate(int64_t key, int64_t delta,
                                          int64_t initial) {
   ++operations_;
-  size_t index = IndexOf(key);
-  while (true) {
-    TouchSlot(index);
-    Slot& slot = slots_[index];
-    if (!slot.occupied) {
-      if (size_ >= max_size_) {
-        return Status::CapacityExceeded("hash table past its load limit");
-      }
-      slot.key = key;
-      slot.value = initial + delta;
-      slot.occupied = true;
-      ++size_;
-      return Status::OK();
+  const size_t index = IndexOf(key);
+  const size_t length = ChainLength(index, key);
+  ReportChain(index, length);
+  Slot& slot = slots_[(index + length - 1) & mask_];
+  if (!slot.occupied) {
+    if (size_ >= max_size_) {
+      return Status::CapacityExceeded("hash table past its load limit");
     }
-    if (slot.key == key) {
-      pmu_->OnInstructions(1);  // the add
-      slot.value += delta;
-      return Status::OK();
-    }
-    index = (index + 1) & mask_;
+    slot.key = key;
+    slot.value = initial + delta;
+    slot.occupied = true;
+    ++size_;
+    return Status::OK();
   }
+  pmu_->OnInstructions(1);  // the add
+  slot.value += delta;
+  return Status::OK();
 }
 
 }  // namespace nipo

@@ -22,6 +22,29 @@
 
 namespace nipo {
 
+/// \brief Cumulative probe statistics of an InstrumentedHashTable.
+/// Windowed exactly like PmuCounters: snapshot stats() before and after a
+/// region and subtract, so probe-length measurements stay consistent with
+/// PMU counter windows instead of silently spanning the table's whole
+/// lifetime.
+struct HashTableStats {
+  uint64_t slot_touches = 0;  ///< slots inspected across all operations
+  uint64_t operations = 0;    ///< Insert/Lookup/Accumulate calls
+
+  HashTableStats operator-(const HashTableStats& other) const {
+    return HashTableStats{slot_touches - other.slot_touches,
+                          operations - other.operations};
+  }
+
+  /// Average linear-probe chain length over this window (a direct
+  /// collision measure).
+  double average_probe_length() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(slot_touches) /
+                                 static_cast<double>(operations);
+  }
+};
+
 /// \brief Fixed-capacity open-addressing (linear probing) map from
 /// int64 keys to int64 values. Capacity is sized at construction; the
 /// table rejects inserts beyond a 7/8 load factor rather than rehashing
@@ -48,13 +71,22 @@ class InstrumentedHashTable {
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }
 
-  /// Probe-length statistics (total slot touches / operations), a direct
-  /// collision measure for tests and diagnostics.
+  /// Base address of the slot array. The simulated cache hashes real
+  /// addresses, so differential tests use this to verify two tables
+  /// occupy the same memory (allocator reuse) before expecting
+  /// bit-identical cache counters.
+  const void* slots_base() const { return slots_.data(); }
+
+  /// Cumulative probe statistics since construction. Window with
+  /// subtraction (snapshot before / after, like Pmu::Read) to measure a
+  /// region — e.g. the probe phase of a join without its build phase.
+  HashTableStats stats() const {
+    return HashTableStats{slot_touches_, operations_};
+  }
+
+  /// Lifetime average probe chain length (stats().average_probe_length()).
   double average_probe_length() const {
-    return operations_ == 0
-               ? 0.0
-               : static_cast<double>(slot_touches_) /
-                     static_cast<double>(operations_);
+    return stats().average_probe_length();
   }
 
  private:
@@ -73,9 +105,18 @@ class InstrumentedHashTable {
     return static_cast<size_t>(z & mask_);
   }
 
-  /// Reports the cache access for slot `index` and charges the hash/probe
-  /// instructions.
-  void TouchSlot(size_t index) const;
+  /// Walks the linear-probe chain starting at `index` without reporting:
+  /// returns the number of slots a probe for `key` inspects, including
+  /// the terminal slot (empty or matching). Bounded because the table
+  /// never fills completely (7/8 load limit).
+  size_t ChainLength(size_t index, int64_t key) const;
+
+  /// Reports `length` slot touches starting at `index` (wrapping at
+  /// capacity) to the PMU as sequential-load runs, plus one hash/compare
+  /// instruction per touch — event-for-event what a per-slot touch loop
+  /// would report, expressed as runs the batched reporting layer can
+  /// coalesce per cache line.
+  void ReportChain(size_t index, size_t length) const;
 
   std::vector<Slot> slots_;
   uint64_t mask_ = 0;

@@ -93,6 +93,16 @@ struct OperatorSpec {
   std::string ToString() const;
 };
 
+/// \brief Rows per execution block of every blocked operator-at-a-time
+/// loop (PipelineExecutor, hash join, hash aggregate). Chosen like
+/// Vectorwise's vector size: small enough that a block's working set (a
+/// few KB per touched column) stays cache-resident on the *simulated*
+/// machine, large enough to amortize per-block bookkeeping on the host.
+/// Simulated counters depend on this constant (it fixes the interleaving
+/// of column touches), so it is a fixed compile-time property of the
+/// execution layer, not a tuning knob.
+inline constexpr size_t kSimBlockRows = 1024;
+
 /// \brief How the executor exposes per-operator statistics.
 enum class InstrumentationMode : int {
   /// Non-invasive: only the simulated PMU observes execution (the paper's

@@ -1,12 +1,14 @@
 #include "exec/pipeline.h"
 
 #include <algorithm>
+#include <limits>
 
 /// \file pipeline.cc
-/// The instrumented tuple-at-a-time scan loop: operator-chain evaluation
-/// in a configurable order with one conditional branch per operator, every
-/// load/compare/branch reported to the Pmu, plus operator spec helpers and
-/// order (re)wiring for the progressive driver.
+/// The instrumented blocked operator-at-a-time scan loop: operator-chain
+/// evaluation in a configurable order with one conditional branch per
+/// operator evaluation, every load/compare/branch reported to the Pmu as
+/// per-block runs (coalesced by its batched reporting layer), plus
+/// operator spec helpers and order (re)wiring for the progressive driver.
 
 namespace nipo {
 
@@ -54,6 +56,109 @@ Status CheckColumn(const Table& table, const std::string& name,
   if (!col.ok()) return col.status();
   *out = col.ValueOrDie();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Specialized evaluation loops. One instantiation per (column type,
+// comparator) keeps the per-element work at a load, a compare, and a
+// branch-free selection append — the host-side analogue of the compiled
+// primitives the paper's engines dispatch to. Semantically each element
+// still computes EvaluateCompare(double(value), op, constant).
+// ---------------------------------------------------------------------------
+
+/// Evaluates `cmp(base[index], value)` for `active` elements and appends
+/// passing ids to `out_sel` (branch-free). The element index is
+/// `gather[j]` if `gather` is non-null, else `j`; the id recorded for a
+/// passing element is `ids[j]` if `ids` is non-null, else `j`.
+template <typename T, typename Cmp>
+size_t EvalLoop(const T* base, const uint32_t* gather, const uint32_t* ids,
+                size_t active, double value, Cmp cmp, uint8_t* pass,
+                uint32_t* out_sel) {
+  size_t count = 0;
+  for (size_t j = 0; j < active; ++j) {
+    const uint32_t index = gather ? gather[j] : static_cast<uint32_t>(j);
+    const bool p = cmp(static_cast<double>(base[index]), value);
+    pass[j] = p;
+    out_sel[count] = ids ? ids[j] : static_cast<uint32_t>(j);
+    count += p;
+  }
+  return count;
+}
+
+template <typename T>
+size_t EvalColumn(const uint8_t* data, size_t base_row, CompareOp op,
+                  double value, const uint32_t* gather, const uint32_t* ids,
+                  size_t active, uint8_t* pass, uint32_t* out_sel) {
+  const T* base = reinterpret_cast<const T*>(data) + base_row;
+  switch (op) {
+    case CompareOp::kLt:
+      return EvalLoop(base, gather, ids, active, value,
+                      [](double a, double b) { return a < b; }, pass,
+                      out_sel);
+    case CompareOp::kLe:
+      return EvalLoop(base, gather, ids, active, value,
+                      [](double a, double b) { return a <= b; }, pass,
+                      out_sel);
+    case CompareOp::kGt:
+      return EvalLoop(base, gather, ids, active, value,
+                      [](double a, double b) { return a > b; }, pass,
+                      out_sel);
+    case CompareOp::kGe:
+      return EvalLoop(base, gather, ids, active, value,
+                      [](double a, double b) { return a >= b; }, pass,
+                      out_sel);
+    case CompareOp::kEq:
+      return EvalLoop(base, gather, ids, active, value,
+                      [](double a, double b) { return a == b; }, pass,
+                      out_sel);
+    case CompareOp::kNe:
+      return EvalLoop(base, gather, ids, active, value,
+                      [](double a, double b) { return a != b; }, pass,
+                      out_sel);
+  }
+  return 0;
+}
+
+size_t EvalDispatch(DataType type, const uint8_t* data, size_t base_row,
+                    CompareOp op, double value, const uint32_t* gather,
+                    const uint32_t* ids, size_t active, uint8_t* pass,
+                    uint32_t* out_sel) {
+  switch (type) {
+    case DataType::kInt32:
+      return EvalColumn<int32_t>(data, base_row, op, value, gather, ids,
+                                 active, pass, out_sel);
+    case DataType::kInt64:
+      return EvalColumn<int64_t>(data, base_row, op, value, gather, ids,
+                                 active, pass, out_sel);
+    case DataType::kDouble:
+      return EvalColumn<double>(data, base_row, op, value, gather, ids,
+                                active, pass, out_sel);
+  }
+  return 0;
+}
+
+template <typename T>
+void ProductLoop(const uint8_t* data, size_t base_row, const uint32_t* sel,
+                 size_t active, double* prod) {
+  const T* base = reinterpret_cast<const T*>(data) + base_row;
+  for (size_t j = 0; j < active; ++j) {
+    prod[j] *= static_cast<double>(base[sel[j]]);
+  }
+}
+
+void ProductDispatch(DataType type, const uint8_t* data, size_t base_row,
+                     const uint32_t* sel, size_t active, double* prod) {
+  switch (type) {
+    case DataType::kInt32:
+      ProductLoop<int32_t>(data, base_row, sel, active, prod);
+      return;
+    case DataType::kInt64:
+      ProductLoop<int64_t>(data, base_row, sel, active, prod);
+      return;
+    case DataType::kDouble:
+      ProductLoop<double>(data, base_row, sel, active, prod);
+      return;
+  }
 }
 
 }  // namespace
@@ -110,6 +215,10 @@ Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Compile(
       c.dim_width = static_cast<uint32_t>(dim->value_width());
       c.dim_type = dim->type();
       c.dim_rows = dim->size();
+      if (c.dim_rows > std::numeric_limits<uint32_t>::max()) {
+        return Status::InvalidArgument(
+            "dimension table exceeds the 2^32-row probe-key range");
+      }
     }
     exec->all_ops_.push_back(c);
   }
@@ -154,74 +263,107 @@ VectorResult PipelineExecutor::ExecuteRange(size_t begin, size_t end) {
   NIPO_CHECK(begin <= end && end <= num_rows_);
   VectorResult result;
   result.input_tuples = end - begin;
-  const size_t num_ops = compiled_.size();
-  const bool enumerator = mode_ == InstrumentationMode::kEnumerator;
-
-  for (size_t row = begin; row < end; ++row) {
-    pmu_->OnInstructions(
-        static_cast<uint64_t>(LoopCostModel::kLoopInstructions));
-    bool qualifies = true;
-    for (size_t pos = 0; pos < num_ops; ++pos) {
-      const CompiledOp& op = compiled_[pos];
-      bool pass;
-      if (op.kind == OperatorSpec::Kind::kPredicate) {
-        pmu_->OnLoad(op.data + static_cast<uint64_t>(row) * op.width,
-                     op.width);
-        const double v = LoadValue(op.data, op.width, op.type, row);
-        pmu_->OnInstructions(
-            static_cast<uint64_t>(LoopCostModel::kCompareInstructions));
-        if (op.extra_instructions > 0) {
-          pmu_->OnInstructions(static_cast<uint64_t>(op.extra_instructions));
-        }
-        pass = EvaluateCompare(v, op.op, op.value);
-      } else {
-        // FK probe: load the key, then the dimension value it addresses.
-        pmu_->OnLoad(op.data + static_cast<uint64_t>(row) * op.width,
-                     op.width);
-        const double key_value = LoadValue(op.data, op.width, op.type, row);
-        const uint64_t key = static_cast<uint64_t>(key_value);
-        NIPO_CHECK(key < op.dim_rows);
-        pmu_->OnInstructions(
-            static_cast<uint64_t>(LoopCostModel::kProbeAddressInstructions));
-        pmu_->OnLoad(op.dim_data + key * op.dim_width, op.dim_width);
-        const double dim_value =
-            LoadValue(op.dim_data, op.dim_width, op.dim_type, key);
-        pmu_->OnInstructions(
-            static_cast<uint64_t>(LoopCostModel::kCompareInstructions));
-        pass = EvaluateCompare(dim_value, op.op, op.value);
-      }
-      if (enumerator) {
-        // Invasive instrumentation: increment an explicit pass counter
-        // after the evaluation (Section 5.7's enumerator-based approach).
-        pmu_->OnInstructions(
-            static_cast<uint64_t>(LoopCostModel::kEnumeratorInstructions));
-        if (pass) ++enum_pass_[pos];
-      }
-      // Predicate branch: NOT taken when the tuple qualifies.
-      pmu_->OnBranch(pos, /*taken=*/!pass);
-      if (!pass) {
-        qualifies = false;
-        break;
-      }
-    }
-    if (qualifies) {
-      ++result.qualifying_tuples;
-      double product = 1.0;
-      for (const CompiledPayload& payload : payloads_) {
-        pmu_->OnLoad(payload.data + static_cast<uint64_t>(row) * payload.width,
-                     payload.width);
-        product *= LoadValue(payload.data, payload.width, payload.type, row);
-      }
-      if (!payloads_.empty()) {
-        pmu_->OnInstructions(
-            static_cast<uint64_t>(LoopCostModel::kAggregateInstructions));
-        result.aggregate += product;
-      }
-    }
-    // Loop back-edge, taken for every iteration.
-    pmu_->OnBranch(loop_site_, /*taken=*/true);
+  for (size_t block = begin; block < end; block += kSimBlockRows) {
+    ExecuteBlock(block, std::min(kSimBlockRows, end - block), &result);
   }
   return result;
+}
+
+void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
+                                    VectorResult* result) {
+  const size_t num_ops = compiled_.size();
+  const bool enumerator = mode_ == InstrumentationMode::kEnumerator;
+  pmu_->OnInstructions(
+      static_cast<uint64_t>(LoopCostModel::kLoopInstructions) * n);
+
+  // sel_ holds the block-relative offsets of still-active rows; the first
+  // operator runs dense over the whole block without materializing it.
+  bool dense = true;
+  size_t active = n;
+  for (size_t pos = 0; pos < num_ops && active > 0; ++pos) {
+    const CompiledOp& op = compiled_[pos];
+    const uint8_t* block_base =
+        op.data + static_cast<uint64_t>(block_begin) * op.width;
+    if (dense) {
+      pmu_->OnSequentialLoads(block_base, op.width, active);
+    } else {
+      pmu_->OnGatherLoads(block_base, op.width, sel_.data(), active);
+    }
+    pass_.resize(active);
+    next_sel_.resize(active);
+    size_t passed = 0;
+    if (op.kind == OperatorSpec::Kind::kPredicate) {
+      pmu_->OnInstructions(
+          static_cast<uint64_t>(LoopCostModel::kCompareInstructions) *
+          active);
+      if (op.extra_instructions > 0) {
+        pmu_->OnInstructions(static_cast<uint64_t>(op.extra_instructions) *
+                             active);
+      }
+      passed = EvalDispatch(op.type, op.data, block_begin, op.op, op.value,
+                            dense ? nullptr : sel_.data(),
+                            dense ? nullptr : sel_.data(), active,
+                            pass_.data(), next_sel_.data());
+    } else {
+      // FK probe: the key gather above feeds a dimension-side gather. FK
+      // columns are validated int32 at Compile time.
+      pmu_->OnInstructions(
+          static_cast<uint64_t>(LoopCostModel::kProbeAddressInstructions) *
+          active);
+      keys_.resize(active);
+      const int32_t* fk =
+          reinterpret_cast<const int32_t*>(op.data) + block_begin;
+      for (size_t j = 0; j < active; ++j) {
+        const uint32_t offset = dense ? static_cast<uint32_t>(j) : sel_[j];
+        const uint64_t key =
+            static_cast<uint64_t>(static_cast<int64_t>(fk[offset]));
+        NIPO_CHECK(key < op.dim_rows);
+        keys_[j] = static_cast<uint32_t>(key);
+      }
+      pmu_->OnGatherLoads(op.dim_data, op.dim_width, keys_.data(), active);
+      pmu_->OnInstructions(
+          static_cast<uint64_t>(LoopCostModel::kCompareInstructions) *
+          active);
+      passed = EvalDispatch(op.dim_type, op.dim_data, /*base_row=*/0, op.op,
+                            op.value, keys_.data(),
+                            dense ? nullptr : sel_.data(), active,
+                            pass_.data(), next_sel_.data());
+    }
+    next_sel_.resize(passed);
+    if (enumerator) {
+      // Invasive instrumentation: increment an explicit pass counter
+      // after each evaluation (Section 5.7's enumerator-based approach).
+      pmu_->OnInstructions(
+          static_cast<uint64_t>(LoopCostModel::kEnumeratorInstructions) *
+          active);
+      enum_pass_[pos] += next_sel_.size();
+    }
+    // Predicate branch per evaluated row, NOT taken when the tuple
+    // qualifies. Outcomes are in row order, as a tuple-at-a-time loop
+    // would emit them at this site.
+    pmu_->OnPredicateBranches(pos, pass_.data(), active);
+    sel_.swap(next_sel_);
+    active = sel_.size();
+    dense = false;
+  }
+
+  result->qualifying_tuples += active;
+  if (active > 0 && !payloads_.empty()) {
+    prod_.assign(active, 1.0);
+    for (const CompiledPayload& payload : payloads_) {
+      pmu_->OnGatherLoads(
+          payload.data + static_cast<uint64_t>(block_begin) * payload.width,
+          payload.width, sel_.data(), active);
+      ProductDispatch(payload.type, payload.data, block_begin, sel_.data(),
+                      active, prod_.data());
+    }
+    pmu_->OnInstructions(
+        static_cast<uint64_t>(LoopCostModel::kAggregateInstructions) *
+        active);
+    for (size_t j = 0; j < active; ++j) result->aggregate += prod_[j];
+  }
+  // Loop back-edge, taken once per block row.
+  pmu_->OnBranchRun(loop_site_, /*taken=*/true, n);
 }
 
 Status PipelineExecutor::Reorder(const std::vector<size_t>& order) {

@@ -12,12 +12,20 @@
 /// \file pipeline.h
 /// The vectorized, PMU-instrumented pipeline executor.
 ///
-/// This is the "machine code" half of the paper's Section 2.1: a tight
-/// tuple-at-a-time loop over the fact table evaluating a chain of
-/// operators in a configurable order, with one conditional branch per
-/// operator (not taken = tuple qualifies) plus the loop back-edge. Every
-/// dynamic event -- load, compare, branch -- is reported to the simulated
-/// Pmu, which is how the non-invasive counters of the paper arise here.
+/// This is the "machine code" half of the paper's Section 2.1: operator
+/// chains evaluated in a configurable order over the fact table, with one
+/// conditional branch per operator evaluation (not taken = tuple
+/// qualifies) plus the loop back-edge. Every dynamic event -- load,
+/// compare, branch -- is reported to the simulated Pmu, which is how the
+/// non-invasive counters of the paper arise here.
+///
+/// Execution is blocked operator-at-a-time (Vectorwise-style primitives):
+/// each kSimBlockRows block runs one operator over all still-active rows
+/// before the next, so every column touch is a stride-1 run or a gather
+/// that the Pmu's batched reporting layer coalesces per cache line
+/// (DESIGN.md "Batched simulation"). Per branch site the outcome sequence
+/// is in row order, exactly as a tuple-at-a-time loop would produce it,
+/// so the predictor-derived counters are loop-shape independent.
 ///
 /// Reorder() switches to a different evaluation order between vectors,
 /// playing the role of Hyper-style JIT recompilation / Vectorwise-style
@@ -105,6 +113,10 @@ class PipelineExecutor {
   static double LoadValue(const uint8_t* data, uint32_t width, DataType type,
                           size_t row);
 
+  /// Runs one block [block_begin, block_begin + n) and accumulates into
+  /// `result`.
+  void ExecuteBlock(size_t block_begin, size_t n, VectorResult* result);
+
   std::vector<OperatorSpec> specs_;       // original order
   std::vector<CompiledOp> all_ops_;       // original order
   std::vector<CompiledOp> compiled_;      // current evaluation order
@@ -117,6 +129,14 @@ class PipelineExecutor {
   // Branch sites: position i -> site i, loop back-edge -> site
   // num_operators().
   size_t loop_site_ = 0;
+  // Per-block scratch (block-relative row offsets / probe keys / payload
+  // products), reused across blocks. An executor is single-threaded by
+  // contract; the parallel driver builds one executor per worker.
+  std::vector<uint32_t> sel_;
+  std::vector<uint32_t> next_sel_;
+  std::vector<uint8_t> pass_;
+  std::vector<uint32_t> keys_;
+  std::vector<double> prod_;
 };
 
 /// \brief Instruction-cost constants of the generated loop; shared by the

@@ -1,5 +1,8 @@
 #include "hw/cache.h"
 
+#include <algorithm>
+#include <bit>
+
 /// \file cache.cc
 /// Simulated set-associative LRU cache levels and the inclusive
 /// L1/L2/L3-plus-memory hierarchy with next-line prefetch, counting
@@ -28,14 +31,44 @@ CacheLevel::CacheLevel(CacheGeometry geometry)
   NIPO_CHECK(geometry_.line_size > 0);
   NIPO_CHECK(geometry_.associativity > 0);
   NIPO_CHECK(num_sets_ > 0);
+  // Normalize the set count to a power of two so SetIndex can mask instead
+  // of `%`, re-deriving the associativity from the (unchanged) line
+  // count: e.g. the Xeon L3's 245760 lines organize as 12288 sets x 20
+  // ways in hardware and as 16384 sets x 15 ways here — same bytes, same
+  // hashed placement randomness, mask-indexable. Of the two neighboring
+  // powers of two, keep the one retaining the most lines; whenever the
+  // line count divides one of them (every geometry in this repository,
+  // ties prefer the larger set count / shorter way scans) capacity is
+  // preserved exactly, and otherwise at most a way's worth of lines is
+  // dropped — the same flooring character CacheGeometry::num_sets()
+  // already has for non-dividing associativities.
+  if (!std::has_single_bit(num_sets_)) {
+    const uint64_t lines = geometry.num_lines();
+    const uint64_t down = std::bit_floor(num_sets_);
+    const uint64_t up = std::bit_ceil(num_sets_);
+    num_sets_ = lines - lines % up >= lines - lines % down ? up : down;
+    ways_ = static_cast<uint32_t>(lines / num_sets_);
+  }
+  set_mask_ = num_sets_ - 1;
   slots_.resize(num_sets_ * ways_);
+  mru_.assign(num_sets_, 0);
 }
 
 bool CacheLevel::Lookup(uint64_t line_addr) {
-  Way* set = &slots_[SetIndex(line_addr) * ways_];
+  const size_t set_index = SetIndex(line_addr);
+  Way* set = &slots_[set_index * ways_];
+  // MRU early-out: repeated touches of a hot line (hash-table slots, the
+  // current scan line) resolve in one compare.
+  const uint32_t mru = mru_[set_index];
+  if (set[mru].tag == line_addr) {
+    set[mru].lru_stamp = ++tick_;
+    ++hits_;
+    return true;
+  }
   for (uint32_t w = 0; w < ways_; ++w) {
     if (set[w].tag == line_addr) {
       set[w].lru_stamp = ++tick_;
+      mru_[set_index] = w;
       ++hits_;
       return true;
     }
@@ -45,11 +78,13 @@ bool CacheLevel::Lookup(uint64_t line_addr) {
 }
 
 void CacheLevel::Insert(uint64_t line_addr, bool prefetched) {
-  Way* set = &slots_[SetIndex(line_addr) * ways_];
+  const size_t set_index = SetIndex(line_addr);
+  Way* set = &slots_[set_index * ways_];
   Way* victim = &set[0];
   for (uint32_t w = 0; w < ways_; ++w) {
     if (set[w].tag == line_addr) {
       set[w].lru_stamp = ++tick_;
+      mru_[set_index] = w;
       return;  // already resident; keep its existing mark
     }
     if (set[w].tag == kEmptyTag) {
@@ -61,22 +96,70 @@ void CacheLevel::Insert(uint64_t line_addr, bool prefetched) {
   victim->tag = line_addr;
   victim->lru_stamp = ++tick_;
   victim->prefetched = prefetched;
+  mru_[set_index] = static_cast<uint32_t>(victim - set);
 }
 
-bool CacheLevel::ConsumePrefetchFlag(uint64_t line_addr) {
-  Way* set = &slots_[SetIndex(line_addr) * ways_];
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].tag == line_addr) {
-      const bool was = set[w].prefetched;
-      set[w].prefetched = false;
-      return was;
+bool CacheLevel::AccessFill(uint64_t line_addr, bool* was_prefetched) {
+  const size_t set_index = SetIndex(line_addr);
+  Way* set = &slots_[set_index * ways_];
+  const uint32_t mru = mru_[set_index];
+  Way* hit = set[mru].tag == line_addr ? &set[mru] : nullptr;
+  Way* victim = &set[0];
+  if (hit == nullptr) {
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (set[w].tag == line_addr) {
+        hit = &set[w];
+        mru_[set_index] = w;
+        break;
+      }
+      if (set[w].tag == kEmptyTag) {
+        victim = &set[w];
+        break;
+      }
+      if (set[w].lru_stamp < victim->lru_stamp) victim = &set[w];
     }
   }
+  if (hit != nullptr) {
+    hit->lru_stamp = ++tick_;
+    ++hits_;
+    if (was_prefetched != nullptr) {
+      *was_prefetched = hit->prefetched;
+      hit->prefetched = false;
+    }
+    return true;
+  }
+  ++misses_;
+  victim->tag = line_addr;
+  victim->lru_stamp = ++tick_;
+  victim->prefetched = false;
+  mru_[set_index] = static_cast<uint32_t>(victim - set);
+  return false;
+}
+
+bool CacheLevel::FillIfAbsent(uint64_t line_addr) {
+  const size_t set_index = SetIndex(line_addr);
+  Way* set = &slots_[set_index * ways_];
+  if (set[mru_[set_index]].tag == line_addr) return true;
+  Way* victim = &set[0];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].tag == line_addr) return true;
+    if (set[w].tag == kEmptyTag) {
+      victim = &set[w];
+      break;
+    }
+    if (set[w].lru_stamp < victim->lru_stamp) victim = &set[w];
+  }
+  victim->tag = line_addr;
+  victim->lru_stamp = ++tick_;
+  victim->prefetched = true;
+  mru_[set_index] = static_cast<uint32_t>(victim - set);
   return false;
 }
 
 bool CacheLevel::Contains(uint64_t line_addr) const {
-  const Way* set = &slots_[SetIndex(line_addr) * ways_];
+  const size_t set_index = SetIndex(line_addr);
+  const Way* set = &slots_[set_index * ways_];
+  if (set[mru_[set_index]].tag == line_addr) return true;
   for (uint32_t w = 0; w < ways_; ++w) {
     if (set[w].tag == line_addr) return true;
   }
@@ -85,6 +168,7 @@ bool CacheLevel::Contains(uint64_t line_addr) const {
 
 void CacheLevel::Clear() {
   for (Way& w : slots_) w = Way{};
+  std::fill(mru_.begin(), mru_.end(), 0u);
   tick_ = 0;
 }
 
@@ -126,53 +210,54 @@ MemoryLevel CacheHierarchy::AccessLine(uint64_t line_addr) {
   return DemandAccess(line_addr);
 }
 
+// Each level's probe-and-fill runs as one fused set walk (AccessFill /
+// FillIfAbsent). The fills therefore execute slightly earlier relative to
+// *other* levels' operations than in a naive lookup-then-insert spelling,
+// which is unobservable: a level's LRU clock advances only on its own
+// operations, and the per-level operation order is unchanged.
 MemoryLevel CacheHierarchy::DemandAccess(uint64_t line_addr) {
   ++stats_.l1_accesses;
-  if (l1_.Lookup(line_addr)) {
+  if (l1_.AccessFill(line_addr)) {
     return MemoryLevel::kL1;
   }
   ++stats_.l1_misses;
   ++stats_.l2_accesses;
   MemoryLevel served;
-  if (l2_.Lookup(line_addr)) {
+  bool was_prefetched = false;
+  if (l2_.AccessFill(line_addr, &was_prefetched)) {
     served = MemoryLevel::kL2;
     // First demand use of a prefetched line: the stream prefetcher keeps
     // running ahead (stream continuation).
-    if (prefetcher_enabled_ && l2_.ConsumePrefetchFlag(line_addr)) {
+    if (prefetcher_enabled_ && was_prefetched) {
       Prefetch(line_addr + 1);
     }
   } else {
     ++stats_.l2_misses;
     ++stats_.l3_accesses;
-    if (l3_.Lookup(line_addr)) {
+    if (l3_.AccessFill(line_addr)) {
       served = MemoryLevel::kL3;
     } else {
       ++stats_.l3_misses;
       served = MemoryLevel::kMemory;
-      l3_.Insert(line_addr);
     }
-    l2_.Insert(line_addr);
     // L2 demand miss: the next-line prefetcher kicks in (Section 2.2.2 /
     // 3.1 of the paper: prefetch requests count as L3 accesses).
     if (prefetcher_enabled_) {
       Prefetch(line_addr + 1);
     }
   }
-  l1_.Insert(line_addr);
   return served;
 }
 
 void CacheHierarchy::Prefetch(uint64_t line_addr) {
-  if (l2_.Contains(line_addr)) {
+  if (l2_.FillIfAbsent(line_addr)) {
     return;  // already resident; hardware squashes the request
   }
   ++stats_.prefetch_requests;
   ++stats_.l3_accesses;
-  if (!l3_.Lookup(line_addr)) {
+  if (!l3_.AccessFill(line_addr)) {
     ++stats_.l3_misses;
-    l3_.Insert(line_addr);
   }
-  l2_.Insert(line_addr, /*prefetched=*/true);
 }
 
 void CacheHierarchy::Clear() {

@@ -53,13 +53,26 @@ class CacheLevel {
 
   /// Inserts the line (evicting the set's LRU victim if needed).
   /// `prefetched` marks the line as brought in by the prefetcher; the
-  /// first demand hit consumes the mark (see ConsumePrefetchFlag).
+  /// first demand hit consumes the mark (AccessFill's `was_prefetched`).
   void Insert(uint64_t line_addr, bool prefetched = false);
 
-  /// If the line is resident and carries the prefetched mark, clears the
-  /// mark and returns true. Lets the hierarchy detect the first demand
-  /// use of a prefetched line and keep the stream running.
-  bool ConsumePrefetchFlag(uint64_t line_addr);
+  /// Demand-path fusion of Lookup + (on miss) Insert in one set walk:
+  /// on hit refreshes LRU, counts the hit, optionally consumes the
+  /// prefetched mark into `*was_prefetched`, and returns true; on miss
+  /// counts it, installs the line over the first-empty-else-LRU victim,
+  /// and returns false. Counter- and LRU-identical to the unfused call
+  /// sequence — a level's stamp clock only advances on its own
+  /// operations, and nothing touches the level between its probe and its
+  /// fill — it just resolves the set once instead of twice.
+  bool AccessFill(uint64_t line_addr, bool* was_prefetched = nullptr);
+
+  /// Prefetch-path fusion of Contains + (if absent) Insert(prefetched):
+  /// returns true and does nothing when the line is resident (the
+  /// hardware squashes the request; deliberately no LRU refresh, like
+  /// Contains); otherwise installs the line with the prefetched mark and
+  /// returns false. Touches no hit/miss counters, like the calls it
+  /// fuses.
+  bool FillIfAbsent(uint64_t line_addr);
 
   /// True iff the line is currently resident (no LRU update; for tests and
   /// for prefetch-avoidance checks).
@@ -71,6 +84,20 @@ class CacheLevel {
   /// The set a line maps to. Exposed so tests can construct colliding
   /// and non-colliding line addresses.
   size_t SetOf(uint64_t line_addr) const { return SetIndex(line_addr); }
+
+  /// Credits `n` coalesced same-line touches as hits without re-running
+  /// Lookup. Exact by construction: the batched reporting layer only
+  /// coalesces touches of the line accessed immediately before, which a
+  /// replayed Lookup would classify as a hit with certainty (the line was
+  /// just installed/refreshed and nothing intervened; see DESIGN.md
+  /// "Batched simulation"). Skipping the LRU refresh is equally safe:
+  /// the line is already the most recent in its set, so the relative
+  /// stamp order — the only thing eviction decisions read — is unchanged.
+  void AddCoalescedHits(uint64_t n) { hits_ += n; }
+
+  /// Number of sets after power-of-two normalization (see constructor).
+  uint64_t num_sets() const { return num_sets_; }
+  uint32_t ways() const { return ways_; }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -90,19 +117,25 @@ class CacheLevel {
   /// place row i in the same set -- thrash any set once the stream count
   /// exceeds the associativity ("4K aliasing"). Real LLCs hash the set
   /// index for the same reason; hashing also decouples the simulation
-  /// from accidental heap-layout choices.
+  /// from accidental heap-layout choices. The set count is normalized to
+  /// a power of two at construction, so the reduction is a mask rather
+  /// than the `%` that used to dominate Lookup profiles.
   size_t SetIndex(uint64_t line_addr) const {
     uint64_t z = line_addr + 0x9E3779B97F4A7C15ull;
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     z ^= z >> 31;
-    return static_cast<size_t>(z % num_sets_);
+    return static_cast<size_t>(z & set_mask_);
   }
 
   CacheGeometry geometry_;
   uint64_t num_sets_;
+  uint64_t set_mask_;
   uint32_t ways_;
   std::vector<Way> slots_;  // num_sets_ * ways_, row-major by set
+  // Most-recently-touched way per set: Lookup probes it first, so the
+  // dominant hot-line hit costs one compare instead of a way scan.
+  std::vector<uint32_t> mru_;
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
@@ -149,6 +182,16 @@ class CacheHierarchy {
   /// Line-granularity access used by the executor (addresses are already
   /// line-aligned by the caller).
   MemoryLevel AccessLine(uint64_t line_addr);
+
+  /// Books `n` coalesced touches of the line accessed immediately before:
+  /// counts them as L1 accesses served by L1 hits without walking the
+  /// hierarchy. Only the batched reporting layer calls this, and only for
+  /// touches a scalar replay would classify as certain L1 hits (see
+  /// CacheLevel::AddCoalescedHits for the invariance argument).
+  void CountCoalescedL1Hits(uint64_t n) {
+    stats_.l1_accesses += n;
+    l1_.AddCoalescedHits(n);
+  }
 
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }

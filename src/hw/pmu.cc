@@ -1,5 +1,6 @@
 #include "hw/pmu.h"
 
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -104,7 +105,12 @@ HwConfig HwConfig::WithPredictor(PredictorConfig predictor) {
 Pmu::Pmu(HwConfig config)
     : config_(config),
       predictor_(config.predictor),
-      caches_(config.l1, config.l2, config.l3, config.prefetcher) {}
+      caches_(config.l1, config.l2, config.l3, config.prefetcher) {
+  line_size_ = caches_.line_size();
+  line_shift_ = std::has_single_bit(line_size_)
+                    ? std::countr_zero(line_size_)
+                    : -1;
+}
 
 void Pmu::SyncCacheStats(PmuCounters* c) const {
   const CacheStats delta = caches_.stats() - cache_baseline_;
@@ -120,22 +126,141 @@ void Pmu::SyncCacheStats(PmuCounters* c) const {
 PmuCounters Pmu::Read() const {
   PmuCounters out = counters_;
   SyncCacheStats(&out);
-  out.cycles = static_cast<uint64_t>(std::llround(cycle_acc_));
+  // Price the event totals through the cycle model. Pricing once at read
+  // time (instead of accumulating a running double per event) is what
+  // keeps scalar and batched reporting cycle-identical by construction.
+  const CycleModel& m = config_.cycle_model;
+  const double cycles =
+      m.cycles_per_instruction * static_cast<double>(plain_instructions_) +
+      m.branch_cycles * static_cast<double>(counters_.branches) +
+      m.misprediction_penalty * static_cast<double>(counters_.mispredictions) +
+      m.l1_hit_cycles * static_cast<double>(loads_served_[0]) +
+      m.l2_hit_cycles * static_cast<double>(loads_served_[1]) +
+      m.l3_hit_cycles * static_cast<double>(loads_served_[2]) +
+      m.memory_cycles * static_cast<double>(loads_served_[3]) +
+      charged_cycles_;
+  out.cycles = static_cast<uint64_t>(std::llround(cycles));
   return out;
 }
 
 void Pmu::ResetCounters() {
   counters_ = PmuCounters{};
-  cycle_acc_ = 0.0;
+  plain_instructions_ = 0;
+  for (uint64_t& l : loads_served_) l = 0;
+  charged_cycles_ = 0.0;
   cache_baseline_ = caches_.stats();
 }
 
 void Pmu::ResetMachine() {
-  counters_ = PmuCounters{};
-  cycle_acc_ = 0.0;
+  ResetCounters();
   predictor_.Reset();
   caches_.Clear();
   cache_baseline_ = CacheStats{};
+}
+
+void Pmu::OnSequentialLoads(const void* base, uint32_t width,
+                            uint64_t count) {
+  if (count == 0) return;
+  NIPO_DCHECK(width > 0);
+  const uint64_t addr = reinterpret_cast<uint64_t>(base);
+  if (reporting_mode_ == ReportingMode::kScalar) {
+    for (uint64_t i = 0; i < count; ++i) {
+      OnLoadAddr(addr + i * width, width);
+    }
+    return;
+  }
+  counters_.instructions += count;
+  if (line_size_ % width == 0 && addr % width == 0) {
+    // Aligned elements never straddle lines: the run touches each line in
+    // [first, last] in a contiguous burst. The first touch of a line runs
+    // the hierarchy; every further touch of the same line is the certain
+    // L1 hit a scalar replay would produce (nothing intervenes between
+    // the touches), so it is booked arithmetically.
+    const uint64_t first = LineOf(addr);
+    const uint64_t last = LineOf(addr + count * width - 1);
+    for (uint64_t l = first; l <= last; ++l) {
+      ++loads_served_[static_cast<int>(caches_.AccessLine(l))];
+    }
+    const uint64_t coalesced = count - (last - first + 1);
+    loads_served_[static_cast<int>(MemoryLevel::kL1)] += coalesced;
+    caches_.CountCoalescedL1Hits(coalesced);
+    return;
+  }
+  // Unaligned / line-straddling elements (e.g. 24-byte hash-table slots):
+  // walk the touched lines per element, still skipping the hierarchy for
+  // immediate same-line repeats. Matching the scalar path, only an
+  // element's *first* line prices its load; continuation lines of a
+  // straddling element update cache statistics but cost no load cycles
+  // (CacheHierarchy::Access returns the first line's serving level).
+  uint64_t prev_line = ~uint64_t{0};
+  uint64_t coalesced = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t a = addr + i * width;
+    const uint64_t first = LineOf(a);
+    const uint64_t last = LineOf(a + width - 1);
+    if (first == prev_line) {
+      ++coalesced;
+      ++loads_served_[static_cast<int>(MemoryLevel::kL1)];
+    } else {
+      ++loads_served_[static_cast<int>(caches_.AccessLine(first))];
+    }
+    for (uint64_t l = first + 1; l <= last; ++l) {
+      caches_.AccessLine(l);
+    }
+    prev_line = last;
+  }
+  caches_.CountCoalescedL1Hits(coalesced);
+}
+
+void Pmu::OnGatherLoads(const void* base, uint32_t width,
+                        const uint32_t* indices, size_t count) {
+  if (count == 0) return;
+  NIPO_DCHECK(width > 0);
+  const uint64_t addr = reinterpret_cast<uint64_t>(base);
+  if (reporting_mode_ == ReportingMode::kScalar) {
+    for (size_t i = 0; i < count; ++i) {
+      OnLoadAddr(addr + static_cast<uint64_t>(indices[i]) * width, width);
+    }
+    return;
+  }
+  counters_.instructions += count;
+  // Width-dividing-line gathers (every column type) cannot straddle, so
+  // the inner loop reduces to one line check per element.
+  if (line_size_ % width == 0 && addr % width == 0) {
+    uint64_t prev_line = ~uint64_t{0};
+    uint64_t coalesced = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t l =
+          LineOf(addr + static_cast<uint64_t>(indices[i]) * width);
+      if (l == prev_line) {
+        ++coalesced;
+      } else {
+        ++loads_served_[static_cast<int>(caches_.AccessLine(l))];
+        prev_line = l;
+      }
+    }
+    loads_served_[static_cast<int>(MemoryLevel::kL1)] += coalesced;
+    caches_.CountCoalescedL1Hits(coalesced);
+    return;
+  }
+  uint64_t prev_line = ~uint64_t{0};
+  uint64_t coalesced = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t a = addr + static_cast<uint64_t>(indices[i]) * width;
+    const uint64_t first = LineOf(a);
+    const uint64_t last = LineOf(a + width - 1);
+    if (first == prev_line) {
+      ++coalesced;
+      ++loads_served_[static_cast<int>(MemoryLevel::kL1)];
+    } else {
+      ++loads_served_[static_cast<int>(caches_.AccessLine(first))];
+    }
+    for (uint64_t l = first + 1; l <= last; ++l) {
+      caches_.AccessLine(l);
+    }
+    prev_line = last;
+  }
+  caches_.CountCoalescedL1Hits(coalesced);
 }
 
 double Pmu::ToMilliseconds(const PmuCounters& counters) const {

@@ -99,6 +99,19 @@ struct HwConfig {
   static HwConfig WithPredictor(PredictorConfig predictor);
 };
 
+/// \brief How executors report their event stream to the Pmu.
+///
+/// The *events* are identical either way; the mode only selects the
+/// mechanics of booking them. kBatched is the default and roughly an
+/// order of magnitude cheaper on scan-shaped work; kScalar replays every
+/// run one event at a time and exists so differential tests can prove the
+/// two modes produce bit-identical PmuCounters (tests/pmu_batch_test.cc,
+/// DESIGN.md "Batched simulation").
+enum class ReportingMode : int {
+  kScalar,   ///< one predictor/cache walk per event
+  kBatched,  ///< run coalescing + closed-form predictor updates
+};
+
 /// \brief The simulated PMU: one predictor + one cache hierarchy + cycle
 /// accounting, shared by all operators of a running query.
 ///
@@ -111,13 +124,20 @@ class Pmu {
 
   const HwConfig& config() const { return config_; }
 
-  /// Creates a fresh machine with the same configuration: cold caches,
-  /// neutral predictor, zero counters. This is the per-worker machine
-  /// construction path of the parallel driver (exec/parallel_driver.h):
-  /// every worker thread gets an identically configured private core.
-  /// ResetMachine() is the in-place equivalent for a machine that is
-  /// reused rather than cloned.
-  Pmu CloneFresh() const { return Pmu(config_); }
+  /// Creates a fresh machine with the same configuration and reporting
+  /// mode: cold caches, neutral predictor, zero counters. This is the
+  /// per-worker machine construction path of the parallel driver
+  /// (exec/parallel_driver.h): every worker thread gets an identically
+  /// configured private core. ResetMachine() is the in-place equivalent
+  /// for a machine that is reused rather than cloned.
+  Pmu CloneFresh() const {
+    Pmu fresh(config_);
+    fresh.reporting_mode_ = reporting_mode_;
+    return fresh;
+  }
+
+  ReportingMode reporting_mode() const { return reporting_mode_; }
+  void set_reporting_mode(ReportingMode mode) { reporting_mode_ = mode; }
 
   /// Registers `n` static branch sites (idempotent growth).
   void EnsureBranchSites(size_t n) { predictor_.EnsureSites(n); }
@@ -125,32 +145,44 @@ class Pmu {
   /// Reports `n` retired non-branch, non-load instructions.
   void OnInstructions(uint64_t n) {
     counters_.instructions += n;
-    cycle_acc_ += config_.cycle_model.cycles_per_instruction *
-                  static_cast<double>(n);
+    plain_instructions_ += n;
   }
 
   /// Reports one conditional branch at `site` with actual direction
   /// `taken`; runs the predictor and charges cycles.
   void OnBranch(size_t site, bool taken) {
     const BranchOutcome out = predictor_.Observe(site, taken);
-    ++counters_.branches;
-    ++counters_.instructions;
-    if (taken) {
-      ++counters_.branches_taken;
-    } else {
-      ++counters_.branches_not_taken;
+    BookBranches(taken, 1, out.mispredicted ? 1 : 0);
+  }
+
+  /// Reports `n` consecutive branches at `site` that all went direction
+  /// `taken` (executors emit one call per maximal uniform run). The
+  /// batched mode resolves the predictor walk in closed form
+  /// (BranchPredictor::ObserveRun); the scalar mode replays the run
+  /// event by event. Counter-identical either way.
+  void OnBranchRun(size_t site, bool taken, uint64_t n) {
+    if (reporting_mode_ == ReportingMode::kScalar) {
+      for (uint64_t i = 0; i < n; ++i) OnBranch(site, taken);
+      return;
     }
-    double cycles = config_.cycle_model.branch_cycles;
-    if (out.mispredicted) {
-      ++counters_.mispredictions;
-      if (taken) {
-        ++counters_.taken_mispredictions;
-      } else {
-        ++counters_.not_taken_mispredictions;
-      }
-      cycles += config_.cycle_model.misprediction_penalty;
+    BookBranches(taken, n, predictor_.ObserveRun(site, taken, n));
+  }
+
+  /// Reports one conditional branch per evaluated element at `site`, in
+  /// element order, from the executor's pass flags: the branch is taken
+  /// iff the flag is zero (not taken = the tuple qualifies, the
+  /// convention of every scan loop here). Maximal uniform runs collapse
+  /// into OnBranchRun calls — the one place the run grouping is
+  /// implemented, so every executor's branch stream coalesces the same
+  /// way.
+  void OnPredicateBranches(size_t site, const uint8_t* pass_flags,
+                           size_t n) {
+    for (size_t j = 0; j < n;) {
+      size_t k = j + 1;
+      while (k < n && pass_flags[k] == pass_flags[j]) ++k;
+      OnBranchRun(site, /*taken=*/pass_flags[j] == 0, k - j);
+      j = k;
     }
-    cycle_acc_ += cycles;
   }
 
   /// Reports a demand load of `width` bytes at `addr`; runs the cache
@@ -161,13 +193,28 @@ class Pmu {
   MemoryLevel OnLoadAddr(uint64_t addr, uint32_t width) {
     ++counters_.instructions;
     const MemoryLevel level = caches_.Access(addr, width);
-    cycle_acc_ += config_.cycle_model.LoadCycles(level);
+    ++loads_served_[static_cast<int>(level)];
     return level;
   }
 
+  /// Reports `count` loads of one `width`-byte element each at
+  /// `base, base + width, ...` — the column stride-1 run every scan hot
+  /// loop produces. The batched mode touches the hierarchy once per
+  /// distinct cache line and books the remaining same-line touches as
+  /// the L1 hits a scalar replay would certainly produce.
+  void OnSequentialLoads(const void* base, uint32_t width, uint64_t count);
+
+  /// Reports `count` loads of `width`-byte elements at rows
+  /// `indices[0..count)` of the array starting at `base` (a gather over a
+  /// selection vector or probe-key list). Consecutive touches of the same
+  /// line — adjacent surviving rows, clustered keys — coalesce exactly
+  /// like the sequential form.
+  void OnGatherLoads(const void* base, uint32_t width,
+                     const uint32_t* indices, size_t count);
+
   /// Charges raw cycles (used to model the cost of reading the counters
   /// themselves, which the paper shows to be negligible).
-  void ChargeCycles(double cycles) { cycle_acc_ += cycles; }
+  void ChargeCycles(double cycles) { charged_cycles_ += cycles; }
 
   /// Reads the current counter values (the PAPI_read equivalent).
   PmuCounters Read() const;
@@ -188,11 +235,43 @@ class Pmu {
  private:
   void SyncCacheStats(PmuCounters* c) const;
 
+  /// Cache-line index of a byte address; shift-based for the (universal)
+  /// power-of-two line sizes, division otherwise.
+  uint64_t LineOf(uint64_t addr) const {
+    return line_shift_ >= 0 ? addr >> line_shift_ : addr / line_size_;
+  }
+
+  /// Books `n` same-direction branches of which `mispredicted` were
+  /// mispredicted (shared by the scalar and batched paths).
+  void BookBranches(bool taken, uint64_t n, uint64_t mispredicted) {
+    counters_.branches += n;
+    counters_.instructions += n;
+    if (taken) {
+      counters_.branches_taken += n;
+      counters_.taken_mispredictions += mispredicted;
+    } else {
+      counters_.branches_not_taken += n;
+      counters_.not_taken_mispredictions += mispredicted;
+    }
+    counters_.mispredictions += mispredicted;
+  }
+
   HwConfig config_;
   BranchPredictor predictor_;
   CacheHierarchy caches_;
   PmuCounters counters_;
-  double cycle_acc_ = 0.0;
+  ReportingMode reporting_mode_ = ReportingMode::kBatched;
+  // Cycle accounting is event-count based: Read() prices the totals
+  // below through the CycleModel. Keeping counts instead of a running
+  // double sum is what makes bulk (batched) and per-event (scalar)
+  // reporting produce identical cycles for *any* cycle model — the two
+  // paths increment the same integers and the pricing arithmetic runs
+  // once, at read time.
+  uint64_t plain_instructions_ = 0;  ///< OnInstructions units (CPI-priced)
+  uint64_t loads_served_[4] = {0, 0, 0, 0};  ///< demand loads per level
+  double charged_cycles_ = 0.0;              ///< raw ChargeCycles sum
+  uint32_t line_size_ = 64;                  ///< hierarchy line size
+  int line_shift_ = 6;  ///< log2(line_size_), or -1 if not a power of two
   // Cache stats baseline at last ResetCounters(), so counter windows
   // subtract correctly while the hierarchy keeps warm state.
   CacheStats cache_baseline_;

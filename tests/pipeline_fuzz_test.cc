@@ -166,6 +166,58 @@ TEST_P(PipelineFuzzTest, MatchesReferenceUnderAnyOrderAndVectorSize) {
   }
 }
 
+TEST_P(PipelineFuzzTest, ScalarAndBatchedReportingBitIdentical) {
+  // The batched reporting layer (DESIGN.md "Batched simulation") claims
+  // PmuCounters are reporting-path invariant. Prove it differentially:
+  // identical machines, identical pipelines, random orders, vector sizes
+  // and cache configurations — scalar vs batched Read() must be
+  // bit-equal, per sampled vector window and in total.
+  const uint64_t seed = GetParam();
+  RandomCase c = MakeCase(seed);
+  Prng prng(seed ^ 0x5eed);
+
+  for (const uint64_t cache_divisor : {8ull, 32ull, 1024ull}) {
+    std::vector<size_t> order(c.ops.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[prng.NextBounded(i)]);
+    }
+    const size_t vector_size = 64 + prng.NextBounded(8192);
+
+    const HwConfig hw = HwConfig::ScaledXeon(cache_divisor);
+    Pmu scalar_pmu(hw), batched_pmu(hw);
+    scalar_pmu.set_reporting_mode(ReportingMode::kScalar);
+    batched_pmu.set_reporting_mode(ReportingMode::kBatched);
+
+    std::vector<PmuCounters> scalar_samples, batched_samples;
+    DriveResult results[2];
+    int which = 0;
+    for (Pmu* pmu : {&scalar_pmu, &batched_pmu}) {
+      auto exec = PipelineExecutor::Compile(c.table, c.ops, c.payload, pmu);
+      ASSERT_TRUE(exec.ok());
+      ASSERT_TRUE(exec.ValueOrDie()->Reorder(order).ok());
+      VectorDriver driver(exec.ValueOrDie().get(), vector_size);
+      auto* samples = pmu == &scalar_pmu ? &scalar_samples : &batched_samples;
+      results[which++] = driver.Run([samples](const VectorSample& s) {
+        samples->push_back(s.counters);
+      });
+    }
+    ASSERT_EQ(results[0].qualifying_tuples, results[1].qualifying_tuples);
+    ASSERT_EQ(results[0].aggregate, results[1].aggregate);
+    ASSERT_EQ(results[0].total, results[1].total)
+        << "seed=" << seed << " divisor=" << cache_divisor << "\nscalar:  "
+        << results[0].total.ToString() << "\nbatched: "
+        << results[1].total.ToString();
+    // Every per-vector counter window must agree too (the progressive
+    // optimizer consumes these).
+    ASSERT_EQ(scalar_samples.size(), batched_samples.size());
+    for (size_t v = 0; v < scalar_samples.size(); ++v) {
+      ASSERT_EQ(scalar_samples[v], batched_samples[v])
+          << "seed=" << seed << " vector=" << v;
+    }
+  }
+}
+
 TEST_P(PipelineFuzzTest, ProgressiveOptimizerPreservesResults) {
   const uint64_t seed = GetParam();
   RandomCase c = MakeCase(seed);
