@@ -1,15 +1,33 @@
 #!/usr/bin/env bash
-# The tier-1 verify recipe, executable: configure -> build -> ctest, run
-# twice (1-thread and 8-thread parallel-driver configs via the
-# NIPO_TEST_THREADS env var), then a perf-smoke run of the simulator
-# throughput bench (its correctness gate asserts scalar/batched counter
-# bit-identity; skip with NIPO_PERF_SMOKE=0), then the parallel tests
-# again under a ThreadSanitizer build (skip with NIPO_TSAN=0).
+# The tier-1 verify recipe, executable (and what .github/workflows/ci.yml
+# runs on every push/PR): lint -> configure -> build -> ctest twice
+# (1-thread and 8-thread driver configs via the NIPO_TEST_THREADS env
+# var), a perf-smoke run of the simulator-throughput and workload benches
+# (their correctness gates assert counter bit-identity), the
+# perf-regression gate against the committed trajectory anchor, then the
+# concurrency tests again under ThreadSanitizer and the full suite under
+# ASan+UBSan.
+#
+# Opt-outs (all default on): NIPO_LINT=0, NIPO_PERF_SMOKE=0 (also skips
+# the gate), NIPO_PERF_GATE=0, NIPO_TSAN=0, NIPO_ASAN=0.
 # Usage: ci/check.sh [build-dir]   (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+
+# Lint: the repo ships .clang-format; every source tree file must be
+# formatting-clean. Skipped with a notice where clang-format is not
+# installed (the hosted CI installs it, so PRs cannot merge unformatted).
+if [[ "${NIPO_LINT:-1}" == "1" ]]; then
+  if command -v clang-format >/dev/null; then
+    echo "== lint: clang-format --dry-run -Werror =="
+    find src tests bench examples \( -name '*.cc' -o -name '*.h' \) -print0 \
+      | xargs -0 clang-format --dry-run -Werror
+  else
+    echo "== lint: clang-format not installed, skipping =="
+  fi
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -19,25 +37,56 @@ for threads in 1 8; do
       ctest --output-on-failure -j "$(nproc)")
 done
 
-# Perf smoke: a quick sim_throughput run. The binary NIPO_CHECK-fails if
-# any configuration's scalar and batched counters diverge, so this doubles
-# as an end-to-end counter-invariance gate. The smoke artifact goes into
-# the build dir — the *committed* repo-root BENCH_sim_throughput.json is
-# the full-run trajectory anchor (EXPERIMENTS.md "Perf trajectory") and
+# Perf smoke: quick runs of sim_throughput and workload_throughput. Both
+# binaries NIPO_CHECK-fail if any configuration's counters diverge
+# (scalar-vs-batched, and solo-vs-concurrent respectively), so this
+# doubles as an end-to-end counter-invariance gate. Smoke artifacts go
+# into the build dir — the *committed* repo-root BENCH_*.json files are
+# the full-run trajectory anchors (EXPERIMENTS.md "Perf trajectory") and
 # must only be refreshed by a deliberate non---quick run.
 if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
   echo "== perf smoke: sim_throughput =="
   "$BUILD_DIR"/bench/sim_throughput --quick \
       --json="$BUILD_DIR"/BENCH_sim_throughput.json
+  echo "== perf smoke: workload_throughput =="
+  "$BUILD_DIR"/bench/workload_throughput --quick \
+      --json="$BUILD_DIR"/BENCH_workload_throughput.json
+
+  # Perf-regression gate: the smoke tuples/sec must stay within a
+  # generous factor of the committed anchor (see ci/perf_gate.py).
+  if [[ "${NIPO_PERF_GATE:-1}" == "1" ]]; then
+    if command -v python3 >/dev/null; then
+      echo "== perf gate: smoke vs committed anchor =="
+      python3 ci/perf_gate.py --anchor BENCH_sim_throughput.json \
+          --smoke "$BUILD_DIR"/BENCH_sim_throughput.json \
+          --min-ratio "${NIPO_PERF_GATE_MIN:-0.5}"
+    else
+      echo "== perf gate: python3 not installed, skipping =="
+    fi
+  fi
 fi
 
-# ThreadSanitizer pass over the sharded-execution tests. Tests only (no
+# ThreadSanitizer pass over the concurrency tests (the sharded parallel
+# driver and the multi-query workload driver). Tests only (no
 # benches/examples) keeps the second build tree small.
 if [[ "${NIPO_TSAN:-1}" == "1" ]]; then
-  echo "== ThreadSanitizer build: parallel driver tests =="
+  echo "== ThreadSanitizer build: parallel + workload driver tests =="
   cmake -B "$BUILD_DIR-tsan" -S . -DNIPO_TSAN=ON \
       -DNIPO_BUILD_BENCHES=OFF -DNIPO_BUILD_EXAMPLES=OFF
-  cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" --target parallel_driver_test
+  cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
+      --target parallel_driver_test workload_driver_test
   (cd "$BUILD_DIR-tsan" && NIPO_TEST_THREADS=8 \
-      ctest -R parallel_driver_test --output-on-failure)
+      ctest -R 'parallel_driver_test|workload_driver_test' \
+      --output-on-failure)
+fi
+
+# AddressSanitizer+UBSan pass over the full test suite (fail-fast:
+# -fno-sanitize-recover promotes every UBSan finding to an abort).
+if [[ "${NIPO_ASAN:-1}" == "1" ]]; then
+  echo "== ASan+UBSan build: full test suite =="
+  cmake -B "$BUILD_DIR-asan" -S . -DNIPO_ASAN=ON \
+      -DNIPO_BUILD_BENCHES=OFF -DNIPO_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR-asan" -j "$(nproc)"
+  (cd "$BUILD_DIR-asan" && NIPO_TEST_THREADS=8 \
+      ctest --output-on-failure -j "$(nproc)")
 fi

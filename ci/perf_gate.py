@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the simulator-throughput trajectory.
+
+Compares a fresh smoke run of bench/sim_throughput (--quick --json) against
+the committed repo-root BENCH_sim_throughput.json anchor: for every
+configuration present in both, the smoke batched tuples/sec must stay above
+``min_ratio`` times the anchor value. The tolerance is deliberately
+generous (default 0.5x) because the smoke run is smaller than the anchor
+run and CI machines differ from the machine that recorded the anchor; the
+gate exists to catch order-of-magnitude simulator regressions (an
+accidentally-scalar hot loop, a per-tuple hierarchy walk creeping back),
+not single-digit-percent noise.
+
+Exit status: 0 = pass, 1 = regression, 2 = usage/input error.
+Wired as an opt-out step in ci/check.sh (NIPO_PERF_GATE=0 skips).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_configs(path):
+    """Returns {config name: batched tuples/sec} from a bench artifact."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    configs = {}
+    for entry in doc.get("configs", []):
+        name = entry.get("name")
+        rate = entry.get("tuples_per_sec_batched")
+        # A config without a positive rate is an input error, not a skip:
+        # silently narrowing coverage is how a gate rots.
+        if name is None or not rate or float(rate) <= 0:
+            print(f"perf_gate: config {name!r} in {path} has no positive "
+                  f"tuples_per_sec_batched ({rate!r})", file=sys.stderr)
+            sys.exit(2)
+        configs[name] = float(rate)
+    if not configs:
+        print(f"perf_gate: no configs in {path}", file=sys.stderr)
+        sys.exit(2)
+    return configs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--anchor", required=True,
+                        help="committed BENCH_sim_throughput.json")
+    parser.add_argument("--smoke", required=True,
+                        help="fresh smoke-run artifact to judge")
+    parser.add_argument("--min-ratio", type=float, default=0.5,
+                        help="fail below this smoke/anchor ratio "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    anchor = load_configs(args.anchor)
+    smoke = load_configs(args.smoke)
+    shared = sorted(set(anchor) & set(smoke))
+    mismatched = sorted(set(anchor) ^ set(smoke))
+    if mismatched:
+        # Renaming/adding/removing a bench config must come with a
+        # regenerated anchor; skipping the stragglers would let exactly
+        # the config-went-missing regressions through.
+        print(f"perf_gate: config sets differ ({', '.join(mismatched)}); "
+              f"regenerate the committed anchor with a full --json run",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = 0
+    width = max(len(name) for name in shared)
+    for name in shared:
+        ratio = smoke[name] / anchor[name]
+        verdict = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        if verdict != "ok":
+            failures += 1
+        print(f"perf_gate: {name:<{width}}  "
+              f"anchor {anchor[name] / 1e6:8.1f} Mtuples/s  "
+              f"smoke {smoke[name] / 1e6:8.1f} Mtuples/s  "
+              f"ratio {ratio:5.2f}  {verdict}")
+    if failures:
+        print(f"perf_gate: FAIL — {failures}/{len(shared)} configs below "
+              f"{args.min_ratio}x of the committed anchor", file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_gate: PASS — {len(shared)} configs at >= "
+          f"{args.min_ratio}x of the committed anchor")
+
+
+if __name__ == "__main__":
+    main()

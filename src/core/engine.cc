@@ -158,6 +158,27 @@ Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
   return report;
 }
 
+Result<WorkloadReport> Engine::ExecuteWorkload(const WorkloadSpec& spec) const {
+  std::vector<WorkloadTask> tasks;
+  tasks.reserve(spec.queries.size());
+  for (const WorkloadQuery& q : spec.queries) {
+    WorkloadTask task;
+    task.name = q.name;
+    task.progressive = q.progressive;
+    task.config = q.config;
+    task.initial_order = q.initial_order;
+    tasks.push_back(std::move(task));
+  }
+  WorkloadDriver driver(
+      NewMachine(),
+      [this, &spec](size_t index, Pmu* pmu) {
+        return CompileQuery(spec.queries[index].query, pmu,
+                            InstrumentationMode::kPmu);
+      },
+      spec.options);
+  return driver.Run(tasks);
+}
+
 std::vector<std::vector<size_t>> AllOrders(size_t n) {
   NIPO_CHECK(n <= 8);
   std::vector<size_t> order(n);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/workload_driver.h"
 #include "hw/pmu.h"
 #include "optimizer/progressive.h"
 #include "storage/table.h"
@@ -68,6 +69,30 @@ struct ParallelBaselineReport {
   std::vector<size_t> order;  ///< the order that was executed
 };
 
+/// \brief One query of a multi-query workload: what to compute
+/// (QuerySpec) plus how to run it (the driver-level WorkloadTask fields;
+/// see exec/workload_driver.h).
+struct WorkloadQuery {
+  /// Display name for reports (empty -> "q<index>").
+  std::string name;
+  QuerySpec query;
+  /// Run under progressive optimization (otherwise fixed-order baseline).
+  bool progressive = false;
+  /// Progressive settings; `config.vector_size` is also the vector size
+  /// of baseline queries.
+  ProgressiveConfig config;
+  /// Optional initial evaluation order (permutation of query.ops).
+  std::optional<std::vector<size_t>> initial_order;
+};
+
+/// \brief A workload: the query queue plus its scheduling options
+/// (worker pool size, admission control, determinism; see
+/// WorkloadOptions in exec/workload_driver.h).
+struct WorkloadSpec {
+  std::vector<WorkloadQuery> queries;
+  WorkloadOptions options;
+};
+
 /// \brief Engine: table registry + simulated machine + query entry points.
 class Engine {
  public:
@@ -121,6 +146,18 @@ class Engine {
       const QuerySpec& query, const ProgressiveConfig& config,
       const ParallelOptions& options,
       std::optional<std::vector<size_t>> initial_order = std::nullopt) const;
+
+  /// Executes a multi-query workload over a shared worker pool with
+  /// admission control (DESIGN.md "Workload execution"): up to
+  /// `spec.options.max_concurrent` queries in flight, each on its own
+  /// fresh private machine with its own progressive optimizer, scheduled
+  /// across `spec.options.num_threads` workers at vector granularity.
+  /// In deterministic mode (the default) every query's results and
+  /// counters are bit-identical to running it alone through
+  /// ExecuteBaseline / ExecuteProgressive, and the aggregate report's
+  /// simulated makespan / latencies / queries-per-sec are bit-stable on
+  /// any host.
+  Result<WorkloadReport> ExecuteWorkload(const WorkloadSpec& spec) const;
 
   /// Builds the fresh simulated machine every execution runs on (cold
   /// caches, neutral predictor). Single-threaded entry points run on this

@@ -145,6 +145,37 @@ void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
   }
 }
 
+void PrintWorkloadReport(const WorkloadReport& report,
+                         const std::string& title, std::ostream& out) {
+  TablePrinter queries(title + " - queries");
+  queries.SetHeader({"query", "mode", "qualifying", "machine msec",
+                     "sim start", "sim finish", "quanta", "PEO changes"});
+  for (const WorkloadQueryReport& q : report.queries) {
+    queries.AddRow({q.name, q.progressive ? "progressive" : "baseline",
+                    std::to_string(q.drive.qualifying_tuples),
+                    FormatDouble(q.drive.simulated_msec, 3),
+                    FormatDouble(q.sim_start_msec, 3),
+                    FormatDouble(q.sim_finish_msec, 3),
+                    std::to_string(q.quanta),
+                    q.progressive ? std::to_string(q.changes.size()) : "-"});
+  }
+  queries.Print(out);
+  const double speedup = report.sim_makespan_msec > 0
+                             ? report.sim_serial_msec / report.sim_makespan_msec
+                             : 0.0;
+  out << "queries: " << report.queries.size()
+      << ", workers: " << report.num_threads
+      << ", max concurrent: " << report.max_concurrent
+      << " (peak in flight: " << report.peak_in_flight << ")\n"
+      << "simulated makespan: " << FormatDouble(report.sim_makespan_msec, 3)
+      << " msec (serial: " << FormatDouble(report.sim_serial_msec, 3)
+      << " msec, speedup " << FormatDouble(speedup, 2) << "x), "
+      << FormatDouble(report.sim_queries_per_sec, 1) << " queries/sec\n"
+      << "host wall: " << FormatDouble(report.wall_msec, 3) << " msec, "
+      << FormatDouble(report.wall_queries_per_sec, 1)
+      << " queries/sec (not simulated)\n";
+}
+
 void WriteCountersCsv(const PmuCounters& counters, std::ostream& out) {
   out << "counter,value\n";
   for (const auto& [name, value] : CounterRows(counters)) {

@@ -37,6 +37,12 @@ void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
                                     const std::string& title,
                                     std::ostream& out);
 
+/// \brief Renders a workload execution: one row per query (mode, result,
+/// machine time, simulated queue/finish times, PEO changes) plus the
+/// aggregate schedule lines (makespan, throughput, pool utilization).
+void PrintWorkloadReport(const WorkloadReport& report,
+                         const std::string& title, std::ostream& out);
+
 /// \brief One-line PEO rendering ("3,1,0,2,4").
 std::string FormatOrder(const std::vector<size_t>& order);
 

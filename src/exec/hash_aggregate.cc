@@ -188,6 +188,7 @@ Result<HashAggregateResult> ExecuteHashAggregate(
     }
     result.groups.push_back(std::move(g));
   }
+  result.table_base = groups.slots_base();
   return result;
 }
 

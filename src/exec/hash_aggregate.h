@@ -45,6 +45,10 @@ struct HashAggregateResult {
   uint64_t input_rows = 0;
   uint64_t passed_filter = 0;
   std::vector<GroupResult> groups;
+  /// Final base address of the internal group table (see
+  /// HashJoinResult::table_base: the address-dependence guard of the
+  /// cross-mode differential tests).
+  const void* table_base = nullptr;
 };
 
 /// \brief Executes the aggregation on `pmu`'s simulated machine.

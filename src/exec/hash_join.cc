@@ -75,6 +75,7 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   // --- build phase: scan the key column blockwise (one stride-1 load run
   // per block), insert row ids.
   InstrumentedHashTable table(spec.build->num_rows(), pmu);
+  result.table_base = table.slots_base();
   const uint8_t* key_data =
       static_cast<const uint8_t*>(build_key->data());
   const uint32_t key_width = static_cast<uint32_t>(build_key->value_width());

@@ -42,6 +42,12 @@ struct HashJoinResult {
   /// Average probe chain length of the *probe phase* (windowed via
   /// HashTableStats subtraction, so build-phase touches don't dilute it).
   double average_probe_length = 0.0;
+  /// Base address of the join's internal slot array. Simulated cache
+  /// counters hash real addresses, so two runs are counter-comparable
+  /// only if the allocator handed them the same block — differential
+  /// tests use this to detect (and skip on) non-reuse, e.g. under ASan's
+  /// quarantining allocator.
+  const void* table_base = nullptr;
 };
 
 /// \brief Executes the join on `pmu`'s simulated machine.

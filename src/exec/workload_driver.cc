@@ -1,0 +1,389 @@
+#include "exec/workload_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/logging.h"
+
+/// \file workload_driver.cc
+/// Multi-query workload scheduling (DESIGN.md "Workload execution"):
+/// FIFO admission control over a slot table, a vector-granular
+/// round-robin ready queue served by a shared worker pool, per-query
+/// private machines and optimizers stepping the exact single-query
+/// driver sequence, and the deterministic simulated-schedule replay that
+/// turns per-quantum machine times into a bit-stable makespan.
+
+namespace nipo {
+
+namespace {
+
+/// Mutable execution state of one admitted query. A QueryRun is touched
+/// by exactly one worker at a time: ownership passes through the
+/// scheduler's ready queue (mutex-protected), which is also what makes
+/// the hand-off race-free.
+struct QueryRun {
+  const WorkloadTask* task = nullptr;
+  size_t slot = 0;  ///< admission slot (machine owner in warm mode)
+
+  /// The query's machine: privately owned in deterministic mode, the
+  /// admission slot's long-lived machine in warm mode.
+  std::unique_ptr<Pmu> owned_pmu;
+  Pmu* pmu = nullptr;
+  std::unique_ptr<PipelineExecutor> exec;
+  std::unique_ptr<ProgressiveOptimizer> optimizer;
+
+  /// Full-run counter window, opened at admission (the solo drivers read
+  /// their machine once at Run() entry; admission is that point here).
+  PmuCounters run_begin;
+  size_t next_row = 0;
+  size_t vector_index = 0;
+  DriveResult drive;
+
+  /// Per-quantum simulated durations, input of the schedule replay.
+  std::vector<double> quantum_msec;
+  /// touched_workers[w] != 0 iff host worker w ran a quantum of this
+  /// query (sized num_threads at admission).
+  std::vector<uint8_t> touched_workers;
+  size_t quanta = 0;
+};
+
+/// Executes one vector of `run`, replaying VectorDriver::Run exactly:
+/// baseline tasks execute the range bare; progressive tasks take the
+/// charged counter-read pair around it and feed the sample to the query's
+/// private optimizer, which may Reorder() for subsequent vectors.
+void ExecuteOneVector(QueryRun* run) {
+  const size_t rows = run->exec->num_rows();
+  const size_t begin = run->next_row;
+  const size_t end = std::min(begin + run->task->config.vector_size, rows);
+  if (run->optimizer != nullptr) {
+    run->pmu->ChargeCycles(kCounterReadCycles);
+    CounterWindow window(run->pmu);
+    const VectorResult r = run->exec->ExecuteRange(begin, end);
+    run->drive.input_tuples += r.input_tuples;
+    run->drive.qualifying_tuples += r.qualifying_tuples;
+    run->drive.aggregate += r.aggregate;
+    run->pmu->ChargeCycles(kCounterReadCycles);
+    VectorSample sample;
+    sample.vector_index = run->vector_index;
+    sample.result = r;
+    sample.counters = window.Delta();
+    run->optimizer->OnVector(sample);
+  } else {
+    const VectorResult r = run->exec->ExecuteRange(begin, end);
+    run->drive.input_tuples += r.input_tuples;
+    run->drive.qualifying_tuples += r.qualifying_tuples;
+    run->drive.aggregate += r.aggregate;
+  }
+  ++run->vector_index;
+  run->next_row = end;
+}
+
+}  // namespace
+
+SimSchedule SimulateWorkloadSchedule(
+    const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
+    size_t max_concurrent) {
+  const size_t n = quantum_msec.size();
+  SimSchedule schedule;
+  schedule.start_msec.assign(n, 0.0);
+  schedule.finish_msec.assign(n, 0.0);
+  if (n == 0) return schedule;
+  NIPO_CHECK(num_threads > 0);
+  NIPO_CHECK(max_concurrent > 0);
+
+  // Event-driven replay of the host policy: FIFO admission into at most
+  // `max_concurrent` slots, a round-robin ready queue, and dispatch of
+  // the front query to the earliest-free worker. Ties in completion time
+  // break by dispatch sequence, making the replay fully deterministic.
+  struct Event {
+    double time = 0;
+    uint64_t seq = 0;
+    size_t query = 0;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> running;
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      free_workers;
+  for (size_t w = 0; w < num_threads; ++w) free_workers.push(0.0);
+
+  struct ReadyEntry {
+    size_t query = 0;
+    double since = 0;  ///< when the query (re-)entered the ready queue
+  };
+  std::deque<ReadyEntry> ready;
+  std::vector<size_t> next_quantum(n, 0);
+  std::vector<bool> started(n, false);
+  size_t next_admission = 0;
+  size_t in_flight = 0;
+  uint64_t seq = 0;
+
+  auto admit = [&](double now) {
+    while (next_admission < n && in_flight < max_concurrent) {
+      ready.push_back({next_admission++, now});
+      ++in_flight;
+    }
+  };
+  auto dispatch = [&] {
+    while (!ready.empty() && !free_workers.empty()) {
+      const ReadyEntry entry = ready.front();
+      ready.pop_front();
+      const double worker_free = free_workers.top();
+      free_workers.pop();
+      const double start = std::max(entry.since, worker_free);
+      if (!started[entry.query]) {
+        started[entry.query] = true;
+        schedule.start_msec[entry.query] = start;
+      }
+      const double duration =
+          next_quantum[entry.query] < quantum_msec[entry.query].size()
+              ? quantum_msec[entry.query][next_quantum[entry.query]]
+              : 0.0;
+      ++next_quantum[entry.query];
+      running.push({start + duration, seq++, entry.query});
+    }
+  };
+
+  admit(0.0);
+  dispatch();
+  while (!running.empty()) {
+    const Event event = running.top();
+    running.pop();
+    free_workers.push(event.time);
+    if (next_quantum[event.query] >= quantum_msec[event.query].size()) {
+      schedule.finish_msec[event.query] = event.time;
+      schedule.makespan_msec = std::max(schedule.makespan_msec, event.time);
+      --in_flight;
+      admit(event.time);
+    } else {
+      ready.push_back({event.query, event.time});
+    }
+    dispatch();
+  }
+  return schedule;
+}
+
+WorkloadDriver::WorkloadDriver(const Pmu& prototype, ExecutorFactory factory,
+                               WorkloadOptions options)
+    : prototype_(prototype.CloneFresh()),
+      factory_(std::move(factory)),
+      options_(options) {
+  NIPO_CHECK(factory_ != nullptr);
+}
+
+Result<WorkloadReport> WorkloadDriver::Run(
+    const std::vector<WorkloadTask>& tasks) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("workload has no queries");
+  }
+  if (options_.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (options_.max_concurrent == 0) {
+    return Status::InvalidArgument("max_concurrent must be positive");
+  }
+  if (options_.burst_vectors == 0) {
+    return Status::InvalidArgument("burst_vectors must be positive");
+  }
+  for (const WorkloadTask& task : tasks) {
+    if (task.config.vector_size == 0) {
+      return Status::InvalidArgument("vector_size must be positive");
+    }
+    if (task.config.reopt_interval == 0) {
+      return Status::InvalidArgument("reopt_interval must be positive");
+    }
+  }
+
+  const size_t n = tasks.size();
+  // Validation pass: compile every task against a scratch machine and
+  // apply its initial order, so unknown tables / bad orders surface
+  // before any thread starts. Admission-time compiles repeat the same
+  // inputs and therefore cannot fail.
+  {
+    Pmu scratch = prototype_.CloneFresh();
+    for (size_t i = 0; i < n; ++i) {
+      NIPO_ASSIGN_OR_RETURN(std::unique_ptr<PipelineExecutor> exec,
+                            factory_(i, &scratch));
+      if (tasks[i].initial_order.has_value()) {
+        NIPO_RETURN_NOT_OK(exec->Reorder(*tasks[i].initial_order));
+      }
+    }
+  }
+
+  const size_t num_slots = options_.max_concurrent;
+  std::vector<QueryRun> runs(n);
+  // Warm mode: one long-lived machine per admission slot, created fresh
+  // on first use and carrying cache/predictor state to later queries.
+  std::vector<std::unique_ptr<Pmu>> slot_machines(num_slots);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<QueryRun*> ready;
+  std::vector<size_t> free_slots;
+  for (size_t s = 0; s < num_slots; ++s) free_slots.push_back(s);
+  size_t next_admission = 0;
+  size_t finished = 0;
+  size_t in_flight = 0;
+  size_t peak_in_flight = 0;
+
+  // Admission (lock held): bind the query to a machine, compile its
+  // executor, open its full-run counter window, and enqueue it.
+  auto admit_locked = [&] {
+    while (next_admission < n && !free_slots.empty()) {
+      const size_t index = next_admission++;
+      QueryRun& run = runs[index];
+      run.task = &tasks[index];
+      run.slot = free_slots.back();
+      free_slots.pop_back();
+      if (options_.deterministic) {
+        run.owned_pmu = std::make_unique<Pmu>(prototype_.CloneFresh());
+        run.pmu = run.owned_pmu.get();
+      } else {
+        std::unique_ptr<Pmu>& slot = slot_machines[run.slot];
+        if (slot == nullptr) {
+          slot = std::make_unique<Pmu>(prototype_.CloneFresh());
+        } else {
+          slot->ResetCounters();  // keep warm caches and predictor state
+        }
+        run.pmu = slot.get();
+      }
+      auto exec = factory_(index, run.pmu);
+      NIPO_CHECK(exec.ok());  // the validation pass proved this compiles
+      run.exec = std::move(exec.ValueOrDie());
+      if (run.task->initial_order.has_value()) {
+        NIPO_CHECK(run.exec->Reorder(*run.task->initial_order).ok());
+      }
+      if (run.task->progressive) {
+        run.optimizer = std::make_unique<ProgressiveOptimizer>(
+            run.exec.get(), run.task->config);
+        run.optimizer->Begin();
+      }
+      run.run_begin = run.pmu->Read();
+      run.touched_workers.assign(options_.num_threads, 0);
+      ready.push_back(&run);
+      ++in_flight;
+      peak_in_flight = std::max(peak_in_flight, in_flight);
+    }
+  };
+
+  auto worker_main = [&](size_t worker_id) {
+    for (;;) {
+      QueryRun* run = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !ready.empty() || finished == n; });
+        if (ready.empty()) return;  // all queries finished
+        run = ready.front();
+        ready.pop_front();
+      }
+      // One scheduling quantum, outside the lock: this worker is the
+      // sole owner of `run` (and its machine) until the yield below.
+      const CounterWindow quantum(run->pmu);
+      const size_t rows = run->exec->num_rows();
+      for (size_t b = 0; b < options_.burst_vectors && run->next_row < rows;
+           ++b) {
+        ExecuteOneVector(run);
+      }
+      run->quantum_msec.push_back(
+          run->pmu->ToMilliseconds(quantum.Delta()));
+      run->touched_workers[worker_id] = 1;
+      ++run->quanta;
+      const bool done = run->next_row >= rows;
+      if (done) {
+        // Close the full-run window, exactly like the solo drivers.
+        run->drive.num_vectors = run->vector_index;
+        run->drive.total = run->pmu->Read() - run->run_begin;
+        run->drive.simulated_msec = run->pmu->ToMilliseconds(run->drive.total);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (done) {
+          ++finished;
+          --in_flight;
+          free_slots.push_back(run->slot);
+          admit_locked();
+          cv.notify_all();
+        } else {
+          ready.push_back(run);
+          cv.notify_one();
+        }
+      }
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    admit_locked();
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (options_.num_threads == 1) {
+    // Run inline, like ParallelDriver: no thread-spawn noise in the wall
+    // clock, and the single-worker path stays trivially serial.
+    worker_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(options_.num_threads);
+    for (size_t w = 0; w < options_.num_threads; ++w) {
+      threads.emplace_back(worker_main, w);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_msec = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+
+  WorkloadReport report;
+  report.num_threads = options_.num_threads;
+  report.max_concurrent = options_.max_concurrent;
+  report.peak_in_flight = peak_in_flight;
+  report.wall_msec = wall_msec;
+  report.wall_queries_per_sec =
+      wall_msec > 0 ? static_cast<double>(n) / (wall_msec / 1e3) : 0.0;
+
+  std::vector<std::vector<double>> quanta(n);
+  report.queries.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryRun& run = runs[i];
+    WorkloadQueryReport& q = report.queries[i];
+    q.name = tasks[i].name.empty() ? "q" + std::to_string(i) : tasks[i].name;
+    q.progressive = tasks[i].progressive;
+    q.quanta = run.quanta;
+    for (const uint8_t touched : run.touched_workers) {
+      q.workers_touched += touched;
+    }
+    if (run.optimizer != nullptr) {
+      ProgressiveReport prog = run.optimizer->Finish(std::move(run.drive));
+      q.drive = std::move(prog.drive);
+      q.changes = std::move(prog.changes);
+      q.num_optimizations = prog.num_optimizations;
+      q.last_estimate = std::move(prog.last_estimate);
+      q.final_order = std::move(prog.final_order);
+    } else {
+      q.drive = std::move(run.drive);
+      q.final_order = run.exec->current_order();
+    }
+    report.sim_serial_msec += q.drive.simulated_msec;
+    quanta[i] = std::move(run.quantum_msec);
+  }
+
+  const SimSchedule schedule = SimulateWorkloadSchedule(
+      quanta, options_.num_threads, options_.max_concurrent);
+  for (size_t i = 0; i < n; ++i) {
+    report.queries[i].sim_start_msec = schedule.start_msec[i];
+    report.queries[i].sim_finish_msec = schedule.finish_msec[i];
+  }
+  report.sim_makespan_msec = schedule.makespan_msec;
+  report.sim_queries_per_sec =
+      schedule.makespan_msec > 0
+          ? static_cast<double>(n) / (schedule.makespan_msec / 1e3)
+          : 0.0;
+  return report;
+}
+
+}  // namespace nipo

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/pipeline.h"
+#include "exec/vector_driver.h"
+#include "hw/pmu.h"
+#include "optimizer/progressive.h"
+
+/// \file workload_driver.h
+/// Multi-query workload execution (DESIGN.md "Workload execution").
+///
+/// A workload is a queue of queries over the shared table registry. The
+/// driver admits up to `max_concurrent` of them at a time (admission
+/// control, FIFO), and a pool of `num_threads` workers executes the
+/// admitted queries one *vector* at a time, round-robin: a worker claims
+/// the query at the front of the ready queue, runs one scheduling quantum
+/// (`burst_vectors` vectors) on that query's private simulated machine,
+/// and yields it back. Queries therefore time-share the pool at vector
+/// granularity — the workload analogue of the parallel driver's morsel
+/// scheduling (exec/parallel_driver.h) with queries in place of shards.
+///
+/// Every query owns a complete private simulated machine (Pmu::CloneFresh:
+/// cold caches, neutral predictor) and, when progressive, its own
+/// optimizer, so each query re-optimizes independently from its own
+/// counter windows while running concurrently with the others. Because a
+/// query's vectors execute strictly in order on that private state — no
+/// matter which worker runs which quantum — its results and counters are
+/// **bit-identical to running it alone single-threaded** through
+/// Engine::ExecuteBaseline / ExecuteProgressive. That is the driver's
+/// deterministic mode (the default; see WorkloadOptions::deterministic
+/// for the warm machine-reuse alternative).
+///
+/// Concurrency metrics live in *simulated* time, like everything else in
+/// this repository: per-quantum simulated durations are replayed through a
+/// deterministic event-driven model of the worker pool, yielding a
+/// bit-stable makespan, per-query latencies and queries/sec on any host.
+/// Host wall-clock of the pool region is reported alongside, wall-only
+/// and non-deterministic, as in ParallelDriveResult.
+
+namespace nipo {
+
+/// \brief Driver-level description of one workload query: how to run it,
+/// not what it computes. The facade-level WorkloadQuery (core/engine.h)
+/// adds the QuerySpec; the driver reaches the compiled pipeline through
+/// its ExecutorFactory instead, mirroring the ParallelOptions /
+/// ParallelConfig split.
+struct WorkloadTask {
+  /// Display name for reports (empty -> "q<index>").
+  std::string name;
+  /// Run under progressive optimization (otherwise fixed-order baseline).
+  bool progressive = false;
+  /// Progressive settings; `config.vector_size` is also the vector size
+  /// of baseline tasks.
+  ProgressiveConfig config;
+  /// Optional initial evaluation order (permutation of the operators).
+  std::optional<std::vector<size_t>> initial_order;
+};
+
+/// \brief Scheduling options of a workload execution.
+struct WorkloadOptions {
+  /// Worker pool size (>= 1). Also the core count of the simulated
+  /// schedule replay.
+  size_t num_threads = 1;
+  /// Admission control: maximum queries in flight (>= 1). Queries are
+  /// admitted in spec order as slots free up.
+  size_t max_concurrent = 1;
+  /// Vectors a worker executes on a claimed query before yielding it back
+  /// to the ready queue (the scheduling quantum).
+  size_t burst_vectors = 1;
+  /// Deterministic mode (default): every query runs on a fresh private
+  /// machine, so its results and counters are bit-identical to a solo
+  /// single-threaded run, and all simulated aggregates are bit-stable.
+  /// When false, the `max_concurrent` admission slots own long-lived
+  /// machines that carry cache and predictor state from one query to the
+  /// next (Pmu::ResetCounters keeps warm state, like a real core between
+  /// queries of a server); counters then depend on the admission schedule
+  /// exactly as on real silicon. Query *results* (tuple counts,
+  /// aggregates) are schedule-independent in both modes.
+  bool deterministic = true;
+};
+
+/// \brief Per-query outcome of a workload execution.
+struct WorkloadQueryReport {
+  std::string name;
+  bool progressive = false;
+  /// Results and full-run counters on the query's machine. In
+  /// deterministic mode, bit-identical to the solo single-threaded run.
+  DriveResult drive;
+  /// Progressive-only: the PEO trace of this query's private optimizer
+  /// (empty for baseline queries).
+  std::vector<PeoChange> changes;
+  size_t num_optimizations = 0;
+  std::vector<double> last_estimate;
+  std::vector<size_t> final_order;
+  /// Simulated schedule (deterministic replay): first dispatch and
+  /// completion on the simulated worker pool. Latency = sim_finish_msec
+  /// (all queries arrive at t = 0), of which sim_start_msec was spent
+  /// queued behind admission control.
+  double sim_start_msec = 0;
+  double sim_finish_msec = 0;
+  /// Scheduling quanta this query was dispatched in.
+  size_t quanta = 0;
+  /// Distinct host workers that executed at least one quantum of it.
+  size_t workers_touched = 0;
+};
+
+/// \brief Aggregate outcome of a workload execution.
+struct WorkloadReport {
+  std::vector<WorkloadQueryReport> queries;
+  /// Completion time of the last query in the deterministic simulated
+  /// schedule (num_threads simulated cores, the configured admission and
+  /// round-robin policy).
+  double sim_makespan_msec = 0;
+  /// queries.size() / sim_makespan; the workload throughput headline.
+  double sim_queries_per_sec = 0;
+  /// Sum of per-query machine times: the simulated cost of running the
+  /// workload one query at a time on one core (the serial baseline the
+  /// makespan is compared against; speedup = sim_serial / sim_makespan).
+  double sim_serial_msec = 0;
+  /// Host wall-clock of the pool region (not simulated, not
+  /// deterministic).
+  double wall_msec = 0;
+  double wall_queries_per_sec = 0;
+  /// Peak number of queries simultaneously admitted (<= max_concurrent).
+  size_t peak_in_flight = 0;
+  /// Echo of the options the workload ran under.
+  size_t num_threads = 0;
+  size_t max_concurrent = 0;
+};
+
+/// \brief The deterministic simulated schedule of a workload, replayed
+/// from per-quantum durations (exposed separately for tests).
+struct SimSchedule {
+  std::vector<double> start_msec;   ///< first dispatch per query
+  std::vector<double> finish_msec;  ///< completion per query
+  double makespan_msec = 0;
+};
+
+/// \brief Replays the pool's scheduling policy (FIFO admission of at most
+/// `max_concurrent` queries, round-robin ready queue, `num_threads`
+/// workers, earliest-free-worker dispatch) in simulated time.
+/// `quantum_msec[q]` holds query q's per-quantum simulated durations.
+SimSchedule SimulateWorkloadSchedule(
+    const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
+    size_t max_concurrent);
+
+/// \brief Drives a multi-query workload over a shared worker pool.
+class WorkloadDriver {
+ public:
+  /// Compiles task `index`'s pipeline against the machine it was admitted
+  /// on. Called under the scheduler lock, once per admission (plus once
+  /// per task, against a scratch machine, for the up-front validation
+  /// pass).
+  using ExecutorFactory =
+      std::function<Result<std::unique_ptr<PipelineExecutor>>(size_t index,
+                                                              Pmu* pmu)>;
+
+  /// \param prototype machine-configuration donor; every query machine
+  ///        (deterministic mode) or slot machine (warm mode) is
+  ///        prototype.CloneFresh().
+  WorkloadDriver(const Pmu& prototype, ExecutorFactory factory,
+                 WorkloadOptions options);
+
+  /// Executes every task to completion. Compile and validation errors of
+  /// *any* task surface before execution starts.
+  Result<WorkloadReport> Run(const std::vector<WorkloadTask>& tasks);
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  Pmu prototype_;
+  ExecutorFactory factory_;
+  WorkloadOptions options_;
+};
+
+}  // namespace nipo

@@ -222,16 +222,26 @@ void ProgressiveOptimizer::HandleVector(const VectorSample& sample) {
   last_cycles_per_tuple_ = cycles_per_tuple;
 }
 
-ProgressiveReport ProgressiveOptimizer::Run() {
+void ProgressiveOptimizer::Begin() {
   report_ = ProgressiveReport{};
   pending_.reset();
   last_cycles_per_tuple_ = 0;
   optimization_count_ = 0;
-  VectorDriver driver(executor_, config_.vector_size);
-  report_.drive =
-      driver.Run([this](const VectorSample& sample) { HandleVector(sample); });
+  recently_reverted_.clear();
+  hysteresis_ttl_ = 0;
+}
+
+ProgressiveReport ProgressiveOptimizer::Finish(DriveResult drive) {
+  report_.drive = std::move(drive);
   report_.final_order = executor_->current_order();
-  return report_;
+  return std::move(report_);
+}
+
+ProgressiveReport ProgressiveOptimizer::Run() {
+  Begin();
+  VectorDriver driver(executor_, config_.vector_size);
+  return Finish(
+      driver.Run([this](const VectorSample& sample) { HandleVector(sample); }));
 }
 
 ParallelProgressiveCoordinator::ParallelProgressiveCoordinator(

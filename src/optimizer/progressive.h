@@ -110,6 +110,26 @@ class ProgressiveOptimizer {
   /// Executes the whole table, re-optimizing on the configured cadence.
   ProgressiveReport Run();
 
+  // Stepping interface, used by the workload driver (exec/workload_driver.h)
+  // to interleave this query with others on a shared worker pool while
+  // replaying exactly the Run() decision sequence: Begin() resets the
+  // optimizer state, OnVector() consumes one per-vector sample (identical
+  // to the hook Run() installs), and Finish() returns the report with the
+  // caller-accumulated drive result filled in. Run() itself is implemented
+  // on top of these three calls, so the paths cannot drift apart.
+
+  /// Resets all optimizer state for a new execution.
+  void Begin();
+
+  /// Consumes the sample of the vector that just executed; may Reorder()
+  /// the executor for subsequent vectors.
+  void OnVector(const VectorSample& sample) { HandleVector(sample); }
+
+  /// Finalizes the report. `drive` is the caller's accumulated result of
+  /// the driven execution (VectorDriver::Run or the workload driver's
+  /// per-vector stepping).
+  ProgressiveReport Finish(DriveResult drive);
+
  private:
   struct PendingValidation {
     std::vector<size_t> old_order;
