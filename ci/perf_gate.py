@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the simulator-throughput trajectory.
 
-Compares a fresh smoke run of bench/sim_throughput (--quick --json) against
-the committed repo-root BENCH_sim_throughput.json anchor: for every
-configuration present in both, the smoke batched tuples/sec must stay above
-``min_ratio`` times the anchor value. The tolerance is deliberately
+Compares a fresh smoke run of a bench (--quick --json) against its
+committed repo-root BENCH_*.json anchor: for every configuration present
+in both, the smoke value of ``--metric`` (batched tuples/sec for
+bench/sim_throughput, simulated queries/sec for the workload benches) must
+stay above ``min_ratio`` times the anchor value. The tolerance is deliberately
 generous (default 0.5x) because the smoke run is smaller than the anchor
 run and CI machines differ from the machine that recorded the anchor; the
 gate exists to catch order-of-magnitude simulator regressions (an
@@ -20,8 +21,8 @@ import json
 import sys
 
 
-def load_configs(path):
-    """Returns {config name: batched tuples/sec} from a bench artifact."""
+def load_configs(path, metric):
+    """Returns {config name: metric value} from a bench artifact."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -31,18 +32,25 @@ def load_configs(path):
     configs = {}
     for entry in doc.get("configs", []):
         name = entry.get("name")
-        rate = entry.get("tuples_per_sec_batched")
+        rate = entry.get(metric)
         # A config without a positive rate is an input error, not a skip:
         # silently narrowing coverage is how a gate rots.
         if name is None or not rate or float(rate) <= 0:
             print(f"perf_gate: config {name!r} in {path} has no positive "
-                  f"tuples_per_sec_batched ({rate!r})", file=sys.stderr)
+                  f"{metric} ({rate!r})", file=sys.stderr)
             sys.exit(2)
         configs[name] = float(rate)
     if not configs:
         print(f"perf_gate: no configs in {path}", file=sys.stderr)
         sys.exit(2)
     return configs
+
+
+def format_rate(value):
+    """Human scaling: raw below 1M (queries/sec), Mega above (tuples/sec)."""
+    if value >= 1e6:
+        return f"{value / 1e6:8.1f}M"
+    return f"{value:8.1f} "
 
 
 def main():
@@ -54,10 +62,13 @@ def main():
     parser.add_argument("--min-ratio", type=float, default=0.5,
                         help="fail below this smoke/anchor ratio "
                              "(default: %(default)s)")
+    parser.add_argument("--metric", default="tuples_per_sec_batched",
+                        help="per-config JSON field to compare "
+                             "(default: %(default)s)")
     args = parser.parse_args()
 
-    anchor = load_configs(args.anchor)
-    smoke = load_configs(args.smoke)
+    anchor = load_configs(args.anchor, args.metric)
+    smoke = load_configs(args.smoke, args.metric)
     shared = sorted(set(anchor) & set(smoke))
     mismatched = sorted(set(anchor) ^ set(smoke))
     if mismatched:
@@ -77,8 +88,8 @@ def main():
         if verdict != "ok":
             failures += 1
         print(f"perf_gate: {name:<{width}}  "
-              f"anchor {anchor[name] / 1e6:8.1f} Mtuples/s  "
-              f"smoke {smoke[name] / 1e6:8.1f} Mtuples/s  "
+              f"anchor {format_rate(anchor[name])}  "
+              f"smoke {format_rate(smoke[name])}  "
               f"ratio {ratio:5.2f}  {verdict}")
     if failures:
         print(f"perf_gate: FAIL — {failures}/{len(shared)} configs below "

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "cost/cache_model.h"
+
 /// \file engine.cc
 /// Engine facade implementation: the table registry, compilation of a
 /// QuerySpec into a PipelineExecutor bound to a fresh simulated machine,
@@ -158,6 +160,63 @@ Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
   return report;
 }
 
+namespace {
+
+/// Fills a task's scheduling estimates from the cache cost model: every
+/// touched column contributes its line-rounded bytes, split into
+/// streamed (fact columns, scanned once) and reused (dimension tables,
+/// re-referenced per probe), combined into the L3 capacity claim by
+/// EstimateScanFootprint. The work score is the touched-value count — a
+/// relative ordering for SRWF, not a cycle prediction.
+void FillScheduleEstimates(const Table& table, const QuerySpec& query,
+                           const HwConfig& hw, WorkloadTask* task) {
+  ScanCacheModelConfig model;
+  model.line_size = hw.l3.line_size;
+  // A column referenced by several operators (e.g. a re-probed dimension)
+  // occupies its bytes once, so count each (table, column) pair once.
+  std::vector<std::pair<const Table*, std::string>> counted;
+  auto column_bytes = [&](const Table& t, const std::string& name) {
+    auto column = t.GetColumn(name);
+    if (!column.ok()) return uint64_t{0};  // surfaces in validation later
+    const std::pair<const Table*, std::string> key{&t, name};
+    if (std::find(counted.begin(), counted.end(), key) != counted.end()) {
+      return uint64_t{0};
+    }
+    counted.push_back(key);
+    const ColumnCacheEstimate est = EstimateColumnCache(
+        model, static_cast<double>(t.num_rows()),
+        ScanColumnSpec{
+            static_cast<uint32_t>(column.ValueOrDie()->value_width()), 1.0});
+    return static_cast<uint64_t>(est.lines_total) * model.line_size;
+  };
+  const double rows = static_cast<double>(table.num_rows());
+  uint64_t streamed = 0;
+  uint64_t reuse = 0;
+  double work = 0;
+  for (const OperatorSpec& op : query.ops) {
+    if (op.kind == OperatorSpec::Kind::kPredicate) {
+      streamed += column_bytes(table, op.predicate.column);
+      work += rows;
+    } else {
+      streamed += column_bytes(table, op.probe.fk_column);
+      if (op.probe.dimension != nullptr) {
+        reuse += column_bytes(*op.probe.dimension, op.probe.filter_column);
+      }
+      work += 2 * rows;  // FK read + dimension gather
+    }
+  }
+  for (const std::string& payload : query.payload_columns) {
+    streamed += column_bytes(table, payload);
+    work += rows;
+  }
+  task->estimated_work = work;
+  task->footprint_bytes =
+      EstimateScanFootprint(streamed, reuse, hw.l3.capacity_bytes)
+          .footprint_bytes;
+}
+
+}  // namespace
+
 Result<WorkloadReport> Engine::ExecuteWorkload(const WorkloadSpec& spec) const {
   std::vector<WorkloadTask> tasks;
   tasks.reserve(spec.queries.size());
@@ -167,6 +226,11 @@ Result<WorkloadReport> Engine::ExecuteWorkload(const WorkloadSpec& spec) const {
     task.progressive = q.progressive;
     task.config = q.config;
     task.initial_order = q.initial_order;
+    task.priority = q.priority;
+    auto table = GetTable(q.query.table);
+    if (table.ok()) {
+      FillScheduleEstimates(*table.ValueOrDie(), q.query, hw_, &task);
+    }
     tasks.push_back(std::move(task));
   }
   WorkloadDriver driver(

@@ -83,11 +83,17 @@ struct WorkloadQuery {
   ProgressiveConfig config;
   /// Optional initial evaluation order (permutation of query.ops).
   std::optional<std::vector<size_t>> initial_order;
+  /// Static scheduling priority (SchedulePolicy::kPriority): higher
+  /// admits earlier. The other per-query scheduling inputs — the work
+  /// estimate for kSrwf and the L3 footprint for kFootprintAware — are
+  /// derived automatically from the cost model (cost/cache_model.h)
+  /// against the registered tables; see Engine::ExecuteWorkload.
+  int priority = 0;
 };
 
 /// \brief A workload: the query queue plus its scheduling options
-/// (worker pool size, admission control, determinism; see
-/// WorkloadOptions in exec/workload_driver.h).
+/// (worker pool size, admission control, determinism, scheduling policy,
+/// shared-L3 contention; see WorkloadOptions in exec/workload_driver.h).
 struct WorkloadSpec {
   std::vector<WorkloadQuery> queries;
   WorkloadOptions options;

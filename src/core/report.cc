@@ -31,6 +31,8 @@ std::vector<std::pair<std::string, uint64_t>> CounterRows(
       {"l3_accesses", c.l3_accesses},
       {"l3_misses", c.l3_misses},
       {"prefetch_requests", c.prefetch_requests},
+      {"l3_evictions_caused", c.l3_evictions_caused},
+      {"l3_evictions_suffered", c.l3_evictions_suffered},
       {"cycles", c.cycles},
   };
 }
@@ -148,16 +150,28 @@ void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
 void PrintWorkloadReport(const WorkloadReport& report,
                          const std::string& title, std::ostream& out) {
   TablePrinter queries(title + " - queries");
-  queries.SetHeader({"query", "mode", "qualifying", "machine msec",
-                     "sim start", "sim finish", "quanta", "PEO changes"});
+  std::vector<std::string> header = {"query",     "mode",       "qualifying",
+                                     "machine msec", "sim start", "sim finish",
+                                     "quanta",    "PEO changes"};
+  if (report.contention) {
+    header.insert(header.end(),
+                  {"L3 evict suffered", "L3 evict caused", "L3 occ peak"});
+  }
+  queries.SetHeader(header);
   for (const WorkloadQueryReport& q : report.queries) {
-    queries.AddRow({q.name, q.progressive ? "progressive" : "baseline",
-                    std::to_string(q.drive.qualifying_tuples),
-                    FormatDouble(q.drive.simulated_msec, 3),
-                    FormatDouble(q.sim_start_msec, 3),
-                    FormatDouble(q.sim_finish_msec, 3),
-                    std::to_string(q.quanta),
-                    q.progressive ? std::to_string(q.changes.size()) : "-"});
+    std::vector<std::string> row = {
+        q.name, q.progressive ? "progressive" : "baseline",
+        std::to_string(q.drive.qualifying_tuples),
+        FormatDouble(q.drive.simulated_msec, 3),
+        FormatDouble(q.sim_start_msec, 3), FormatDouble(q.sim_finish_msec, 3),
+        std::to_string(q.quanta),
+        q.progressive ? std::to_string(q.changes.size()) : "-"};
+    if (report.contention) {
+      row.push_back(std::to_string(q.drive.total.l3_evictions_suffered));
+      row.push_back(std::to_string(q.drive.total.l3_evictions_caused));
+      row.push_back(std::to_string(q.shared_l3_peak_occupancy_lines));
+    }
+    queries.AddRow(row);
   }
   queries.Print(out);
   const double speedup = report.sim_makespan_msec > 0
@@ -167,6 +181,13 @@ void PrintWorkloadReport(const WorkloadReport& report,
       << ", workers: " << report.num_threads
       << ", max concurrent: " << report.max_concurrent
       << " (peak in flight: " << report.peak_in_flight << ")\n"
+      << "policy: " << SchedulePolicyToString(report.policy)
+      << ", contention: " << (report.contention ? "on" : "off");
+  if (report.contention) {
+    out << " (shared L3: " << report.shared_l3_capacity_lines
+        << " lines, displaced: " << report.shared_l3_lines_displaced << ")";
+  }
+  out << "\n"
       << "simulated makespan: " << FormatDouble(report.sim_makespan_msec, 3)
       << " msec (serial: " << FormatDouble(report.sim_serial_msec, 3)
       << " msec, speedup " << FormatDouble(speedup, 2) << "x), "

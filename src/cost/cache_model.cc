@@ -66,4 +66,16 @@ std::vector<ScanColumnSpec> BuildScanColumns(
   return columns;
 }
 
+ScanFootprintEstimate EstimateScanFootprint(uint64_t streamed_bytes,
+                                            uint64_t reuse_bytes,
+                                            uint64_t l3_capacity_bytes) {
+  ScanFootprintEstimate estimate;
+  estimate.streamed_bytes = streamed_bytes;
+  estimate.reuse_bytes = reuse_bytes;
+  const uint64_t total = streamed_bytes + reuse_bytes;
+  estimate.footprint_bytes =
+      l3_capacity_bytes > 0 ? std::min(total, l3_capacity_bytes) : total;
+  return estimate;
+}
+
 }  // namespace nipo

@@ -67,4 +67,26 @@ std::vector<ScanColumnSpec> BuildScanColumns(
     const std::vector<uint32_t>& predicate_widths,
     const std::vector<uint32_t>& payload_widths);
 
+/// \brief Estimated shared-L3 working set of one query (the admission
+/// input of footprint-aware co-scheduling; DESIGN.md Section 6).
+struct ScanFootprintEstimate {
+  uint64_t streamed_bytes = 0;  ///< sequentially-scanned bytes (fact columns)
+  uint64_t reuse_bytes = 0;     ///< re-referenced bytes (dimension tables)
+  uint64_t footprint_bytes = 0;  ///< the capacity claim (capped at L3 size)
+};
+
+/// \brief Combines streamed and reused bytes into a shared-L3 capacity
+/// claim. Reused bytes count fully — the query wants them resident for
+/// its whole run. Streamed bytes count too, because every streamed line
+/// passes through L3 and displaces a resident line on its way (the
+/// pollution a scan inflicts on co-runners), but the claim is capped at
+/// `l3_capacity_bytes`: a scan larger than the cache cannot displace
+/// more than the whole cache, and the cap is what lets such a query be
+/// admitted at all (a "thrasher" claims the full L3, so footprint-aware
+/// scheduling runs it against streams, never against reuse queries).
+/// A zero capacity leaves the claim uncapped.
+ScanFootprintEstimate EstimateScanFootprint(uint64_t streamed_bytes,
+                                            uint64_t reuse_bytes,
+                                            uint64_t l3_capacity_bytes);
+
 }  // namespace nipo

@@ -104,6 +104,9 @@ Result<ParallelDriveResult> ParallelDriver::Run(
   executors.reserve(num_workers);
   for (size_t w = 0; w < num_workers; ++w) {
     pmus.push_back(std::make_unique<Pmu>(prototype_.CloneFresh()));
+    if (config_.machine_hook != nullptr) {
+      config_.machine_hook(w, pmus.back().get());
+    }
     NIPO_ASSIGN_OR_RETURN(std::unique_ptr<PipelineExecutor> exec,
                           factory_(pmus.back().get()));
     if (initial_order.has_value()) {

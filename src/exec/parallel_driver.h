@@ -46,6 +46,15 @@ struct ParallelConfig {
   /// kCounterReadCycles read pair per morsel, like the sampled VectorDriver
   /// path). Implied when a hook is passed to Run().
   bool sample_counters = false;
+  /// Optional per-worker machine hook, invoked once per worker machine
+  /// (worker id, machine) after construction and before any execution.
+  /// This is the attachment point for shared machine components — e.g.
+  /// Pmu::AttachSharedL3 to give the shard workers one shared L3 domain
+  /// (hw/shared_cache.h). Note a shared domain is unsynchronized: at
+  /// num_threads > 1 the hook's owner must serialize execution or accept
+  /// host-dependent interleavings (the workload driver's contention mode
+  /// therefore runs single-threaded; see DESIGN.md Section 6).
+  std::function<void(size_t, Pmu*)> machine_hook;
 };
 
 /// \brief One morsel's execution record: the per-morsel sample (with

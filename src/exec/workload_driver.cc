@@ -5,27 +5,46 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <numeric>
 #include <queue>
 #include <thread>
 
 #include "common/logging.h"
+#include "hw/shared_cache.h"
 
 /// \file workload_driver.cc
-/// Multi-query workload scheduling (DESIGN.md "Workload execution"):
-/// FIFO admission control over a slot table, a vector-granular
-/// round-robin ready queue served by a shared worker pool, per-query
-/// private machines and optimizers stepping the exact single-query
-/// driver sequence, and the deterministic simulated-schedule replay that
-/// turns per-quantum machine times into a bit-stable makespan.
+/// Multi-query workload scheduling (DESIGN.md "Workload execution" and
+/// Section 6 "Shared-cache contention"): policy-driven admission control
+/// over a slot table, a vector-granular round-robin ready queue, per-query
+/// private machines and optimizers stepping the exact single-query driver
+/// sequence, and one event-driven schedule core that serves three roles —
+/// the deterministic simulated-schedule replay, the policy-aware variant
+/// of it, and the contention-mode executor that runs quanta *inside* the
+/// event loop against a shared L3 domain.
 
 namespace nipo {
+
+std::string_view SchedulePolicyToString(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kFifo:
+      return "fifo";
+    case SchedulePolicy::kSrwf:
+      return "srwf";
+    case SchedulePolicy::kPriority:
+      return "priority";
+    case SchedulePolicy::kFootprintAware:
+      return "footprint";
+  }
+  return "unknown";
+}
 
 namespace {
 
 /// Mutable execution state of one admitted query. A QueryRun is touched
 /// by exactly one worker at a time: ownership passes through the
 /// scheduler's ready queue (mutex-protected), which is also what makes
-/// the hand-off race-free.
+/// the hand-off race-free. (In contention mode everything runs on one
+/// host thread and the question does not arise.)
 struct QueryRun {
   const WorkloadTask* task = nullptr;
   size_t slot = 0;  ///< admission slot (machine owner in warm mode)
@@ -50,6 +69,9 @@ struct QueryRun {
   /// query (sized num_threads at admission).
   std::vector<uint8_t> touched_workers;
   size_t quanta = 0;
+  /// Contention mode: occupancy gauges sampled at the last quantum.
+  uint64_t peak_occupancy_lines = 0;
+  uint64_t final_occupancy_lines = 0;
 };
 
 /// Executes one vector of `run`, replaying VectorDriver::Run exactly:
@@ -83,12 +105,112 @@ void ExecuteOneVector(QueryRun* run) {
   run->next_row = end;
 }
 
-}  // namespace
+constexpr size_t kNoPick = static_cast<size_t>(-1);
 
-SimSchedule SimulateWorkloadSchedule(
-    const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
-    size_t max_concurrent) {
-  const size_t n = quantum_msec.size();
+double TaskWork(const SchedulePolicyConfig& cfg, size_t q) {
+  return cfg.tasks.empty() ? 0.0 : cfg.tasks[q].work;
+}
+
+int TaskPriority(const SchedulePolicyConfig& cfg, size_t q) {
+  return cfg.tasks.empty() ? 0 : cfg.tasks[q].priority;
+}
+
+/// A query's footprint claim against the L3 budget, capped at capacity:
+/// a query streaming more than the whole L3 can at most occupy the whole
+/// L3, and capping is what lets such a query ever be admitted at all.
+uint64_t CappedFootprint(const SchedulePolicyConfig& cfg, size_t q) {
+  if (cfg.tasks.empty()) return 0;
+  return std::min(cfg.tasks[q].footprint_bytes, cfg.l3_capacity_bytes);
+}
+
+/// Picks the next query to admit: a position into `pending` (spec-order
+/// subsequence of not-yet-admitted queries), or kNoPick to leave the
+/// admission slot empty until the next completion. Pure function of the
+/// pending/in-flight sets and the policy inputs — which is what makes
+/// admission order identical between a live run and its replay.
+size_t PickNextAdmission(
+    const std::vector<size_t>& pending, const SchedulePolicyConfig& cfg,
+    const std::vector<size_t>& in_flight,
+    const std::function<uint64_t(size_t)>& live_footprint) {
+  if (pending.empty()) return kNoPick;
+  switch (cfg.policy) {
+    case SchedulePolicy::kFifo:
+      return 0;
+    case SchedulePolicy::kSrwf: {
+      size_t best = 0;
+      for (size_t i = 1; i < pending.size(); ++i) {
+        if (TaskWork(cfg, pending[i]) < TaskWork(cfg, pending[best])) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SchedulePolicy::kPriority: {
+      size_t best = 0;
+      for (size_t i = 1; i < pending.size(); ++i) {
+        if (TaskPriority(cfg, pending[i]) > TaskPriority(cfg, pending[best])) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SchedulePolicy::kFootprintAware: {
+      if (cfg.l3_capacity_bytes == 0) return 0;
+      uint64_t used = 0;
+      for (const size_t q : in_flight) {
+        uint64_t f = CappedFootprint(cfg, q);
+        if (live_footprint != nullptr) {
+          // Live occupancy feedback: a query that grew past its estimate
+          // claims what it actually holds.
+          f = std::max(f,
+                       std::min(live_footprint(q), cfg.l3_capacity_bytes));
+        }
+        used += f;
+      }
+      const uint64_t budget =
+          cfg.l3_capacity_bytes > used ? cfg.l3_capacity_bytes - used : 0;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (CappedFootprint(cfg, pending[i]) <= budget) return i;
+      }
+      // Nothing fits. Defer if someone is running (a completion will free
+      // budget); admit the front regardless if the machine is idle, so
+      // the workload always makes progress.
+      return in_flight.empty() ? 0 : kNoPick;
+    }
+  }
+  return 0;
+}
+
+/// What one dispatched quantum produced: its simulated duration and
+/// whether it completed the query.
+struct QuantumOutcome {
+  double duration_msec = 0;
+  bool done = false;
+};
+
+/// Optional side-effect hooks of the event loop (used by the contention
+/// executor; the pure replay passes none).
+struct EventLoopHooks {
+  std::function<void(size_t)> on_admit;
+  std::function<void(size_t)> on_complete;
+  std::function<uint64_t(size_t)> live_footprint;
+};
+
+/// The event-driven schedule core shared by the replay and the
+/// contention-mode executor: admission picked by `cfg.policy` into at
+/// most `max_concurrent` slots, a round-robin ready queue, dispatch of
+/// the front query to the earliest-free of `num_threads` simulated
+/// workers. `run_quantum(q)` is called at q's dispatch points *in
+/// dispatch order* — for a replay it returns recorded durations; for
+/// contended execution it actually runs the quantum, which is exactly
+/// what serializes the shared-L3 interleaving into event order. Ties in
+/// completion time break by dispatch sequence, making the loop fully
+/// deterministic.
+SimSchedule RunEventSchedule(
+    size_t n, size_t num_threads, size_t max_concurrent,
+    const SchedulePolicyConfig& cfg,
+    const std::function<QuantumOutcome(size_t)>& run_quantum,
+    const EventLoopHooks& hooks, size_t* peak_in_flight_out) {
   SimSchedule schedule;
   schedule.start_msec.assign(n, 0.0);
   schedule.finish_msec.assign(n, 0.0);
@@ -96,14 +218,11 @@ SimSchedule SimulateWorkloadSchedule(
   NIPO_CHECK(num_threads > 0);
   NIPO_CHECK(max_concurrent > 0);
 
-  // Event-driven replay of the host policy: FIFO admission into at most
-  // `max_concurrent` slots, a round-robin ready queue, and dispatch of
-  // the front query to the earliest-free worker. Ties in completion time
-  // break by dispatch sequence, making the replay fully deterministic.
   struct Event {
     double time = 0;
     uint64_t seq = 0;
     size_t query = 0;
+    bool done = false;
     bool operator>(const Event& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
@@ -118,16 +237,24 @@ SimSchedule SimulateWorkloadSchedule(
     double since = 0;  ///< when the query (re-)entered the ready queue
   };
   std::deque<ReadyEntry> ready;
-  std::vector<size_t> next_quantum(n, 0);
+  std::vector<size_t> pending(n);
+  std::iota(pending.begin(), pending.end(), size_t{0});
+  std::vector<size_t> in_flight;
   std::vector<bool> started(n, false);
-  size_t next_admission = 0;
-  size_t in_flight = 0;
+  size_t peak_in_flight = 0;
   uint64_t seq = 0;
 
   auto admit = [&](double now) {
-    while (next_admission < n && in_flight < max_concurrent) {
-      ready.push_back({next_admission++, now});
-      ++in_flight;
+    while (in_flight.size() < max_concurrent) {
+      const size_t pos =
+          PickNextAdmission(pending, cfg, in_flight, hooks.live_footprint);
+      if (pos == kNoPick) break;
+      const size_t query = pending[pos];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pos));
+      if (hooks.on_admit != nullptr) hooks.on_admit(query);
+      in_flight.push_back(query);
+      peak_in_flight = std::max(peak_in_flight, in_flight.size());
+      ready.push_back({query, now});
     }
   };
   auto dispatch = [&] {
@@ -141,12 +268,8 @@ SimSchedule SimulateWorkloadSchedule(
         started[entry.query] = true;
         schedule.start_msec[entry.query] = start;
       }
-      const double duration =
-          next_quantum[entry.query] < quantum_msec[entry.query].size()
-              ? quantum_msec[entry.query][next_quantum[entry.query]]
-              : 0.0;
-      ++next_quantum[entry.query];
-      running.push({start + duration, seq++, entry.query});
+      const QuantumOutcome out = run_quantum(entry.query);
+      running.push({start + out.duration_msec, seq++, entry.query, out.done});
     }
   };
 
@@ -156,17 +279,109 @@ SimSchedule SimulateWorkloadSchedule(
     const Event event = running.top();
     running.pop();
     free_workers.push(event.time);
-    if (next_quantum[event.query] >= quantum_msec[event.query].size()) {
+    if (event.done) {
       schedule.finish_msec[event.query] = event.time;
       schedule.makespan_msec = std::max(schedule.makespan_msec, event.time);
-      --in_flight;
+      in_flight.erase(
+          std::find(in_flight.begin(), in_flight.end(), event.query));
+      if (hooks.on_complete != nullptr) hooks.on_complete(event.query);
       admit(event.time);
     } else {
       ready.push_back({event.query, event.time});
     }
     dispatch();
   }
+  if (peak_in_flight_out != nullptr) *peak_in_flight_out = peak_in_flight;
   return schedule;
+}
+
+/// Assembles the per-query reports and serial baseline out of finished
+/// runs (shared by the threaded and contended paths); the caller fills
+/// the schedule-derived fields afterwards.
+WorkloadReport AssembleReport(const std::vector<WorkloadTask>& tasks,
+                              std::vector<QueryRun>* runs,
+                              const WorkloadOptions& options, double wall_msec,
+                              size_t peak_in_flight) {
+  const size_t n = tasks.size();
+  WorkloadReport report;
+  report.num_threads = options.num_threads;
+  report.max_concurrent = options.max_concurrent;
+  report.policy = options.policy;
+  report.contention = options.contention;
+  report.peak_in_flight = peak_in_flight;
+  report.wall_msec = wall_msec;
+  report.wall_queries_per_sec =
+      wall_msec > 0 ? static_cast<double>(n) / (wall_msec / 1e3) : 0.0;
+  report.queries.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryRun& run = (*runs)[i];
+    WorkloadQueryReport& q = report.queries[i];
+    q.name = tasks[i].name.empty() ? "q" + std::to_string(i) : tasks[i].name;
+    q.progressive = tasks[i].progressive;
+    q.quanta = run.quanta;
+    for (const uint8_t touched : run.touched_workers) {
+      q.workers_touched += touched;
+    }
+    q.shared_l3_peak_occupancy_lines = run.peak_occupancy_lines;
+    q.shared_l3_final_occupancy_lines = run.final_occupancy_lines;
+    if (run.optimizer != nullptr) {
+      ProgressiveReport prog = run.optimizer->Finish(std::move(run.drive));
+      q.drive = std::move(prog.drive);
+      q.changes = std::move(prog.changes);
+      q.num_optimizations = prog.num_optimizations;
+      q.last_estimate = std::move(prog.last_estimate);
+      q.final_order = std::move(prog.final_order);
+    } else {
+      q.drive = std::move(run.drive);
+      q.final_order = run.exec->current_order();
+    }
+    report.sim_serial_msec += q.drive.simulated_msec;
+    q.quantum_msec = std::move(run.quantum_msec);
+  }
+  return report;
+}
+
+/// Copies the schedule into the report's per-query and headline fields.
+void ApplySchedule(const SimSchedule& schedule, WorkloadReport* report) {
+  const size_t n = report->queries.size();
+  for (size_t i = 0; i < n; ++i) {
+    report->queries[i].sim_start_msec = schedule.start_msec[i];
+    report->queries[i].sim_finish_msec = schedule.finish_msec[i];
+  }
+  report->sim_makespan_msec = schedule.makespan_msec;
+  report->sim_queries_per_sec =
+      schedule.makespan_msec > 0
+          ? static_cast<double>(n) / (schedule.makespan_msec / 1e3)
+          : 0.0;
+}
+
+}  // namespace
+
+SimSchedule SimulateWorkloadSchedule(
+    const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
+    size_t max_concurrent) {
+  return SimulateWorkloadSchedule(quantum_msec, num_threads, max_concurrent,
+                                  SchedulePolicyConfig{});
+}
+
+SimSchedule SimulateWorkloadSchedule(
+    const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
+    size_t max_concurrent, const SchedulePolicyConfig& config) {
+  const size_t n = quantum_msec.size();
+  if (n == 0) return SimSchedule{};
+  NIPO_CHECK(config.tasks.empty() || config.tasks.size() == n);
+  std::vector<size_t> next_quantum(n, 0);
+  auto run_quantum = [&](size_t q) {
+    QuantumOutcome out;
+    out.duration_msec = next_quantum[q] < quantum_msec[q].size()
+                            ? quantum_msec[q][next_quantum[q]]
+                            : 0.0;
+    ++next_quantum[q];
+    out.done = next_quantum[q] >= quantum_msec[q].size();
+    return out;
+  };
+  return RunEventSchedule(n, num_threads, max_concurrent, config, run_quantum,
+                          EventLoopHooks{}, nullptr);
 }
 
 WorkloadDriver::WorkloadDriver(const Pmu& prototype, ExecutorFactory factory,
@@ -175,6 +390,19 @@ WorkloadDriver::WorkloadDriver(const Pmu& prototype, ExecutorFactory factory,
       factory_(std::move(factory)),
       options_(options) {
   NIPO_CHECK(factory_ != nullptr);
+}
+
+SchedulePolicyConfig WorkloadDriver::PolicyConfig(
+    const std::vector<WorkloadTask>& tasks) const {
+  SchedulePolicyConfig cfg;
+  cfg.policy = options_.policy;
+  cfg.l3_capacity_bytes = prototype_.config().l3.capacity_bytes;
+  cfg.tasks.reserve(tasks.size());
+  for (const WorkloadTask& task : tasks) {
+    cfg.tasks.push_back(
+        {task.priority, task.estimated_work, task.footprint_bytes});
+  }
+  return cfg;
 }
 
 Result<WorkloadReport> WorkloadDriver::Run(
@@ -216,27 +444,41 @@ Result<WorkloadReport> WorkloadDriver::Run(
     }
   }
 
+  if (options_.contention) {
+    return RunContended(tasks);
+  }
+
   const size_t num_slots = options_.max_concurrent;
   std::vector<QueryRun> runs(n);
   // Warm mode: one long-lived machine per admission slot, created fresh
   // on first use and carrying cache/predictor state to later queries.
   std::vector<std::unique_ptr<Pmu>> slot_machines(num_slots);
+  const SchedulePolicyConfig policy_cfg = PolicyConfig(tasks);
 
   std::mutex mu;
   std::condition_variable cv;
   std::deque<QueryRun*> ready;
   std::vector<size_t> free_slots;
   for (size_t s = 0; s < num_slots; ++s) free_slots.push_back(s);
-  size_t next_admission = 0;
+  std::vector<size_t> pending(n);
+  std::iota(pending.begin(), pending.end(), size_t{0});
+  std::vector<size_t> in_flight_set;
   size_t finished = 0;
-  size_t in_flight = 0;
   size_t peak_in_flight = 0;
 
-  // Admission (lock held): bind the query to a machine, compile its
-  // executor, open its full-run counter window, and enqueue it.
+  // Admission (lock held): pick the next query per policy, bind it to a
+  // machine, compile its executor, open its full-run counter window, and
+  // enqueue it. Policy picks use static estimates only (there is no
+  // shared cache here), so the admission sequence is a pure function of
+  // the policy inputs — identical to the replay's, whatever the host
+  // timing of completions.
   auto admit_locked = [&] {
-    while (next_admission < n && !free_slots.empty()) {
-      const size_t index = next_admission++;
+    while (!free_slots.empty()) {
+      const size_t pos =
+          PickNextAdmission(pending, policy_cfg, in_flight_set, nullptr);
+      if (pos == kNoPick) break;
+      const size_t index = pending[pos];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pos));
       QueryRun& run = runs[index];
       run.task = &tasks[index];
       run.slot = free_slots.back();
@@ -267,8 +509,8 @@ Result<WorkloadReport> WorkloadDriver::Run(
       run.run_begin = run.pmu->Read();
       run.touched_workers.assign(options_.num_threads, 0);
       ready.push_back(&run);
-      ++in_flight;
-      peak_in_flight = std::max(peak_in_flight, in_flight);
+      in_flight_set.push_back(index);
+      peak_in_flight = std::max(peak_in_flight, in_flight_set.size());
     }
   };
 
@@ -290,8 +532,7 @@ Result<WorkloadReport> WorkloadDriver::Run(
            ++b) {
         ExecuteOneVector(run);
       }
-      run->quantum_msec.push_back(
-          run->pmu->ToMilliseconds(quantum.Delta()));
+      run->quantum_msec.push_back(run->pmu->ToMilliseconds(quantum.Delta()));
       run->touched_workers[worker_id] = 1;
       ++run->quanta;
       const bool done = run->next_row >= rows;
@@ -305,7 +546,9 @@ Result<WorkloadReport> WorkloadDriver::Run(
         std::lock_guard<std::mutex> lock(mu);
         if (done) {
           ++finished;
-          --in_flight;
+          const size_t index = static_cast<size_t>(run - runs.data());
+          in_flight_set.erase(std::find(in_flight_set.begin(),
+                                        in_flight_set.end(), index));
           free_slots.push_back(run->slot);
           admit_locked();
           cv.notify_all();
@@ -338,51 +581,128 @@ Result<WorkloadReport> WorkloadDriver::Run(
                                std::chrono::steady_clock::now() - wall_start)
                                .count();
 
-  WorkloadReport report;
-  report.num_threads = options_.num_threads;
-  report.max_concurrent = options_.max_concurrent;
-  report.peak_in_flight = peak_in_flight;
-  report.wall_msec = wall_msec;
-  report.wall_queries_per_sec =
-      wall_msec > 0 ? static_cast<double>(n) / (wall_msec / 1e3) : 0.0;
-
   std::vector<std::vector<double>> quanta(n);
-  report.queries.resize(n);
+  for (size_t i = 0; i < n; ++i) quanta[i] = runs[i].quantum_msec;
+  WorkloadReport report =
+      AssembleReport(tasks, &runs, options_, wall_msec, peak_in_flight);
+  const SimSchedule schedule = SimulateWorkloadSchedule(
+      quanta, options_.num_threads, options_.max_concurrent, policy_cfg);
+  ApplySchedule(schedule, &report);
+  return report;
+}
+
+Result<WorkloadReport> WorkloadDriver::RunContended(
+    const std::vector<WorkloadTask>& tasks) {
+  const size_t n = tasks.size();
+  // One shared L3, sized like the prototype's, with one owner id per
+  // query (the query index). Machines keep their private L1/L2.
+  SharedCacheDomain domain(prototype_.config().l3);
   for (size_t i = 0; i < n; ++i) {
-    QueryRun& run = runs[i];
-    WorkloadQueryReport& q = report.queries[i];
-    q.name = tasks[i].name.empty() ? "q" + std::to_string(i) : tasks[i].name;
-    q.progressive = tasks[i].progressive;
-    q.quanta = run.quanta;
-    for (const uint8_t touched : run.touched_workers) {
-      q.workers_touched += touched;
-    }
-    if (run.optimizer != nullptr) {
-      ProgressiveReport prog = run.optimizer->Finish(std::move(run.drive));
-      q.drive = std::move(prog.drive);
-      q.changes = std::move(prog.changes);
-      q.num_optimizations = prog.num_optimizations;
-      q.last_estimate = std::move(prog.last_estimate);
-      q.final_order = std::move(prog.final_order);
-    } else {
-      q.drive = std::move(run.drive);
-      q.final_order = run.exec->current_order();
-    }
-    report.sim_serial_msec += q.drive.simulated_msec;
-    quanta[i] = std::move(run.quantum_msec);
+    domain.RegisterOwner(tasks[i].name.empty() ? "q" + std::to_string(i)
+                                               : tasks[i].name);
   }
 
-  const SimSchedule schedule = SimulateWorkloadSchedule(
-      quanta, options_.num_threads, options_.max_concurrent);
-  for (size_t i = 0; i < n; ++i) {
-    report.queries[i].sim_start_msec = schedule.start_msec[i];
-    report.queries[i].sim_finish_msec = schedule.finish_msec[i];
-  }
-  report.sim_makespan_msec = schedule.makespan_msec;
-  report.sim_queries_per_sec =
-      schedule.makespan_msec > 0
-          ? static_cast<double>(n) / (schedule.makespan_msec / 1e3)
-          : 0.0;
+  const size_t num_slots = options_.max_concurrent;
+  std::vector<QueryRun> runs(n);
+  std::vector<std::unique_ptr<Pmu>> slot_machines(num_slots);
+  std::vector<size_t> free_slots;
+  for (size_t s = 0; s < num_slots; ++s) free_slots.push_back(s);
+  const SchedulePolicyConfig policy_cfg = PolicyConfig(tasks);
+
+  EventLoopHooks hooks;
+  hooks.on_admit = [&](size_t index) {
+    QueryRun& run = runs[index];
+    run.task = &tasks[index];
+    run.slot = free_slots.back();
+    free_slots.pop_back();
+    if (options_.deterministic) {
+      run.owned_pmu = std::make_unique<Pmu>(prototype_.CloneFresh());
+      run.pmu = run.owned_pmu.get();
+    } else {
+      std::unique_ptr<Pmu>& slot = slot_machines[run.slot];
+      if (slot == nullptr) {
+        slot = std::make_unique<Pmu>(prototype_.CloneFresh());
+      } else {
+        slot->ResetCounters();  // keep warm private caches and predictor
+      }
+      run.pmu = slot.get();
+    }
+    run.pmu->AttachSharedL3(&domain, static_cast<uint32_t>(index));
+    auto exec = factory_(index, run.pmu);
+    NIPO_CHECK(exec.ok());  // the validation pass proved this compiles
+    run.exec = std::move(exec.ValueOrDie());
+    if (run.task->initial_order.has_value()) {
+      NIPO_CHECK(run.exec->Reorder(*run.task->initial_order).ok());
+    }
+    if (run.task->progressive) {
+      run.optimizer = std::make_unique<ProgressiveOptimizer>(run.exec.get(),
+                                                             run.task->config);
+      run.optimizer->Begin();
+    }
+    run.run_begin = run.pmu->Read();
+    run.touched_workers.assign(1, 0);  // one host thread runs everything
+  };
+  hooks.on_complete = [&](size_t index) {
+    free_slots.push_back(runs[index].slot);
+  };
+  hooks.live_footprint = [&](size_t index) -> uint64_t {
+    return domain.stats(static_cast<uint32_t>(index)).occupancy_lines *
+           domain.line_size();
+  };
+
+  auto run_quantum = [&](size_t index) -> QuantumOutcome {
+    QueryRun& run = runs[index];
+    const CounterWindow quantum(run.pmu);
+    const size_t rows = run.exec->num_rows();
+    for (size_t b = 0; b < options_.burst_vectors && run.next_row < rows;
+         ++b) {
+      ExecuteOneVector(&run);
+    }
+    QuantumOutcome out;
+    out.duration_msec = run.pmu->ToMilliseconds(quantum.Delta());
+    run.quantum_msec.push_back(out.duration_msec);
+    run.touched_workers[0] = 1;
+    ++run.quanta;
+    out.done = run.next_row >= rows;
+    if (out.done) {
+      run.drive.num_vectors = run.vector_index;
+      run.drive.total = run.pmu->Read() - run.run_begin;
+      run.drive.simulated_msec = run.pmu->ToMilliseconds(run.drive.total);
+      run.peak_occupancy_lines = run.pmu->SharedL3PeakOccupancyLines();
+      run.final_occupancy_lines = run.pmu->SharedL3OccupancyLines();
+      // Detach so the machine outlives the (function-local) domain
+      // safely; all shared-L3 reads happened above.
+      run.pmu->AttachSharedL3(nullptr, 0);
+    }
+    if (options_.audit_contention) {
+      // Accounting invariants: every resident line is owned by exactly
+      // one query, and every displaced line was charged to exactly one.
+      NIPO_CHECK(domain.total_occupancy_lines() ==
+                 domain.level().occupied_lines());
+      uint64_t charged = 0;
+      for (uint32_t o = 0; o < domain.num_owners(); ++o) {
+        charged += domain.stats(o).evictions_suffered +
+                   domain.stats(o).self_evictions;
+      }
+      NIPO_CHECK(charged == domain.lines_displaced());
+    }
+    return out;
+  };
+
+  size_t peak_in_flight = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const SimSchedule schedule =
+      RunEventSchedule(n, options_.num_threads, options_.max_concurrent,
+                       policy_cfg, run_quantum, hooks, &peak_in_flight);
+  const double wall_msec = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+
+  WorkloadReport report =
+      AssembleReport(tasks, &runs, options_, wall_msec, peak_in_flight);
+  ApplySchedule(schedule, &report);
+  report.shared_l3_capacity_lines = domain.capacity_lines();
+  report.shared_l3_lines_displaced = domain.lines_displaced();
   return report;
 }
 

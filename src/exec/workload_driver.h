@@ -61,7 +61,44 @@ struct WorkloadTask {
   ProgressiveConfig config;
   /// Optional initial evaluation order (permutation of the operators).
   std::optional<std::vector<size_t>> initial_order;
+  /// Static priority (SchedulePolicy::kPriority): higher admits earlier;
+  /// ties break in spec order.
+  int priority = 0;
+  /// Relative work estimate (SchedulePolicy::kSrwf): admission prefers
+  /// the smallest. Only the ordering matters, not the unit. The facade
+  /// (core/engine.cc) fills it from the cost model.
+  double estimated_work = 0;
+  /// Estimated L3-resident working set (SchedulePolicy::kFootprintAware):
+  /// the bytes this query re-references and would like to keep in L3.
+  /// The facade fills it from the cache cost model.
+  uint64_t footprint_bytes = 0;
 };
+
+/// \brief Admission-control policy of the workload scheduler. Policies
+/// act at *admission* time (which pending query takes a freed slot); the
+/// ready queue of admitted queries stays round-robin in every policy, so
+/// in-flight queries always time-share the pool fairly.
+enum class SchedulePolicy : int {
+  /// Spec order (the PR-4 behaviour and the default).
+  kFifo = 0,
+  /// Shortest-remaining-work-first: admit the pending query with the
+  /// smallest WorkloadTask::estimated_work. Remaining == total at
+  /// admission time, since queries are never preempted back to pending.
+  kSrwf,
+  /// Highest WorkloadTask::priority first; FIFO among equal priorities.
+  kPriority,
+  /// Cache-footprint-aware co-scheduling: admit the earliest pending
+  /// query whose estimated footprint fits in the shared-L3 budget left
+  /// by the in-flight queries (estimates capped at L3 capacity; under
+  /// contention the in-flight side uses live occupancy feedback when it
+  /// exceeds the estimate). If nothing fits, the slot stays idle until a
+  /// completion frees budget — except when *nothing* is in flight, where
+  /// the front query is admitted regardless so the workload always makes
+  /// progress.
+  kFootprintAware,
+};
+
+std::string_view SchedulePolicyToString(SchedulePolicy policy);
 
 /// \brief Scheduling options of a workload execution.
 struct WorkloadOptions {
@@ -84,6 +121,25 @@ struct WorkloadOptions {
   /// exactly as on real silicon. Query *results* (tuple counts,
   /// aggregates) are schedule-independent in both modes.
   bool deterministic = true;
+  /// Admission-control policy (see SchedulePolicy).
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  /// Shared-L3 contention modelling (DESIGN.md Section 6). When true,
+  /// every query machine keeps its private L1/L2 but routes L3 fills
+  /// through one SharedCacheDomain sized like the prototype's L3, so
+  /// concurrent queries evict each other's lines and the per-query
+  /// counters show the interference. Execution is serialized into the
+  /// event-driven schedule itself (quanta run at their simulated dispatch
+  /// points, in event order), which makes the L3 interleaving — and every
+  /// counter — a pure function of the schedule: bit-stable across reruns
+  /// and hosts, like everything else here. When false (default), queries
+  /// run interference-free on the PR-4 threaded pool, bit-identical to
+  /// solo runs in deterministic mode.
+  bool contention = false;
+  /// Contention-mode self-audit: after every quantum, NIPO_CHECK the
+  /// domain's accounting invariants (per-owner occupancy sums to the
+  /// occupied line count; displaced lines equal charged evictions).
+  /// Costs a full L3 scan per quantum; tests enable it, benches do not.
+  bool audit_contention = false;
 };
 
 /// \brief Per-query outcome of a workload execution.
@@ -109,6 +165,15 @@ struct WorkloadQueryReport {
   size_t quanta = 0;
   /// Distinct host workers that executed at least one quantum of it.
   size_t workers_touched = 0;
+  /// Per-quantum simulated durations (the schedule-replay input; exposed
+  /// so tests can cross-check live contended schedules against
+  /// SimulateWorkloadSchedule).
+  std::vector<double> quantum_msec;
+  /// Contention-mode occupancy gauges (lines owned in the shared L3),
+  /// sampled when the query's last quantum finished; zero when
+  /// contention=off.
+  uint64_t shared_l3_peak_occupancy_lines = 0;
+  uint64_t shared_l3_final_occupancy_lines = 0;
 };
 
 /// \brief Aggregate outcome of a workload execution.
@@ -133,6 +198,12 @@ struct WorkloadReport {
   /// Echo of the options the workload ran under.
   size_t num_threads = 0;
   size_t max_concurrent = 0;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  bool contention = false;
+  /// Contention-mode shared-L3 geometry (lines) and total lines ever
+  /// displaced from it; zero when contention=off.
+  uint64_t shared_l3_capacity_lines = 0;
+  uint64_t shared_l3_lines_displaced = 0;
 };
 
 /// \brief The deterministic simulated schedule of a workload, replayed
@@ -143,6 +214,24 @@ struct SimSchedule {
   double makespan_msec = 0;
 };
 
+/// \brief Static per-query inputs of a policy-aware schedule replay
+/// (mirrors the WorkloadTask scheduling fields).
+struct ScheduleTaskInfo {
+  int priority = 0;
+  double work = 0;
+  uint64_t footprint_bytes = 0;
+};
+
+/// \brief Admission-policy configuration of a schedule replay.
+struct SchedulePolicyConfig {
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  /// Footprint budget of kFootprintAware (0 = unlimited, which
+  /// degenerates to FIFO).
+  uint64_t l3_capacity_bytes = 0;
+  /// Per-query info; empty means all-default (every query identical).
+  std::vector<ScheduleTaskInfo> tasks;
+};
+
 /// \brief Replays the pool's scheduling policy (FIFO admission of at most
 /// `max_concurrent` queries, round-robin ready queue, `num_threads`
 /// workers, earliest-free-worker dispatch) in simulated time.
@@ -150,6 +239,13 @@ struct SimSchedule {
 SimSchedule SimulateWorkloadSchedule(
     const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
     size_t max_concurrent);
+
+/// \brief Policy-aware overload: same event-driven replay with admission
+/// picked by `config.policy` instead of FIFO. With a default-constructed
+/// config this is exactly the overload above (same event loop).
+SimSchedule SimulateWorkloadSchedule(
+    const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
+    size_t max_concurrent, const SchedulePolicyConfig& config);
 
 /// \brief Drives a multi-query workload over a shared worker pool.
 class WorkloadDriver {
@@ -175,6 +271,16 @@ class WorkloadDriver {
   const WorkloadOptions& options() const { return options_; }
 
  private:
+  /// Contention-mode execution: quanta run serially inside the
+  /// event-driven schedule, sharing one L3 domain (see
+  /// WorkloadOptions::contention).
+  Result<WorkloadReport> RunContended(const std::vector<WorkloadTask>& tasks);
+
+  /// The scheduling-field view of `tasks` plus this driver's policy and
+  /// L3 budget (prototype L3 capacity).
+  SchedulePolicyConfig PolicyConfig(
+      const std::vector<WorkloadTask>& tasks) const;
+
   Pmu prototype_;
   ExecutorFactory factory_;
   WorkloadOptions options_;

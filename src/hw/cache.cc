@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "hw/shared_cache.h"
+
 /// \file cache.cc
 /// Simulated set-associative LRU cache levels and the inclusive
 /// L1/L2/L3-plus-memory hierarchy with next-line prefetch, counting
@@ -136,6 +138,58 @@ bool CacheLevel::AccessFill(uint64_t line_addr, bool* was_prefetched) {
   return false;
 }
 
+CacheLevel::OwnedAccess CacheLevel::AccessFillOwned(uint64_t line_addr,
+                                                    uint32_t owner) {
+  const size_t set_index = SetIndex(line_addr);
+  Way* set = &slots_[set_index * ways_];
+  const uint32_t mru = mru_[set_index];
+  Way* hit = set[mru].tag == line_addr ? &set[mru] : nullptr;
+  Way* victim = &set[0];
+  if (hit == nullptr) {
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (set[w].tag == line_addr) {
+        hit = &set[w];
+        mru_[set_index] = w;
+        break;
+      }
+      if (set[w].tag == kEmptyTag) {
+        victim = &set[w];
+        break;
+      }
+      if (set[w].lru_stamp < victim->lru_stamp) victim = &set[w];
+    }
+  }
+  OwnedAccess out;
+  if (hit != nullptr) {
+    hit->lru_stamp = ++tick_;
+    ++hits_;
+    out.hit = true;
+    out.prev_owner = hit->owner;
+    hit->owner = owner;  // last accessor owns (no prefetched-mark change,
+                         // matching AccessFill without was_prefetched)
+    return out;
+  }
+  ++misses_;
+  if (victim->tag != kEmptyTag) {
+    out.displaced = true;
+    out.victim_owner = victim->owner;
+  }
+  victim->tag = line_addr;
+  victim->lru_stamp = ++tick_;
+  victim->prefetched = false;
+  victim->owner = owner;
+  mru_[set_index] = static_cast<uint32_t>(victim - set);
+  return out;
+}
+
+uint64_t CacheLevel::occupied_lines() const {
+  uint64_t n = 0;
+  for (const Way& w : slots_) {
+    if (w.tag != kEmptyTag) ++n;
+  }
+  return n;
+}
+
 bool CacheLevel::FillIfAbsent(uint64_t line_addr) {
   const size_t set_index = SetIndex(line_addr);
   Way* set = &slots_[set_index * ways_];
@@ -234,7 +288,7 @@ MemoryLevel CacheHierarchy::DemandAccess(uint64_t line_addr) {
   } else {
     ++stats_.l2_misses;
     ++stats_.l3_accesses;
-    if (l3_.AccessFill(line_addr)) {
+    if (AccessL3(line_addr)) {
       served = MemoryLevel::kL3;
     } else {
       ++stats_.l3_misses;
@@ -255,9 +309,16 @@ void CacheHierarchy::Prefetch(uint64_t line_addr) {
   }
   ++stats_.prefetch_requests;
   ++stats_.l3_accesses;
-  if (!l3_.AccessFill(line_addr)) {
+  if (!AccessL3(line_addr)) {
     ++stats_.l3_misses;
   }
+}
+
+bool CacheHierarchy::AccessL3(uint64_t line_addr) {
+  if (shared_l3_ != nullptr) {
+    return shared_l3_->AccessFill(shared_owner_, line_addr);
+  }
+  return l3_.AccessFill(line_addr);
 }
 
 void CacheHierarchy::Clear() {

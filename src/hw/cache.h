@@ -74,6 +74,28 @@ class CacheLevel {
   /// fuses.
   bool FillIfAbsent(uint64_t line_addr);
 
+  /// What an owner-tagged access observed (shared levels only; see
+  /// SharedCacheDomain).
+  struct OwnedAccess {
+    bool hit = false;
+    uint32_t prev_owner = 0;  ///< owner the hit line belonged to before
+    bool displaced = false;   ///< a resident line was evicted by the fill
+    uint32_t victim_owner = 0;  ///< owner of the displaced line
+  };
+
+  /// Owner-tagged variant of AccessFill for a level shared between
+  /// machines: on hit, refreshes LRU, counts the hit, reports the line's
+  /// previous owner and re-tags it to `owner` (last accessor owns); on
+  /// miss, counts it, installs the line tagged `owner`, and reports
+  /// whether a resident line was displaced and whose it was. With a
+  /// single owner this is hit/miss- and LRU-identical to AccessFill
+  /// (same set walk, same victim choice) — the contention=off
+  /// bit-equality gates rely on that.
+  OwnedAccess AccessFillOwned(uint64_t line_addr, uint32_t owner);
+
+  /// Number of currently resident lines (full scan; audit/test use).
+  uint64_t occupied_lines() const;
+
   /// True iff the line is currently resident (no LRU update; for tests and
   /// for prefetch-avoidance checks).
   bool Contains(uint64_t line_addr) const;
@@ -109,6 +131,7 @@ class CacheLevel {
     uint64_t tag = kEmptyTag;
     uint64_t lru_stamp = 0;
     bool prefetched = false;
+    uint32_t owner = 0;  ///< owner id in shared levels; unused otherwise
   };
   static constexpr uint64_t kEmptyTag = ~uint64_t{0};
 
@@ -169,10 +192,26 @@ struct CacheStats {
 /// accesses per touched line -- the wasted prefetch plus the demand fetch
 /// -- which is precisely the "double counted random miss" the paper adds
 /// to Pirk et al.'s model (Section 3.1).
+class SharedCacheDomain;
+
 class CacheHierarchy {
  public:
   CacheHierarchy(CacheGeometry l1, CacheGeometry l2, CacheGeometry l3,
                  bool enable_prefetcher = true);
+
+  /// Routes this hierarchy's L3 fills (demand and prefetch) through a
+  /// shared domain under `owner`'s id; L1/L2 stay private. The private
+  /// L3 level is bypassed while attached. Pass nullptr to detach. The
+  /// hierarchy's own stats_ keep counting l3_accesses/l3_misses, so the
+  /// owning machine's counters stay per-owner automatically. Note the
+  /// model keeps no back-invalidation: lines another owner evicts from
+  /// the shared L3 may linger in this hierarchy's private L2 (documented
+  /// simplification, DESIGN.md Section 6).
+  void AttachSharedL3(SharedCacheDomain* domain, uint32_t owner) {
+    shared_l3_ = domain;
+    shared_owner_ = owner;
+  }
+  bool shared_l3_attached() const { return shared_l3_ != nullptr; }
 
   /// Performs a demand load of `width` bytes at `addr`. Accesses that
   /// straddle a line boundary touch both lines. Returns the deepest level
@@ -211,12 +250,17 @@ class CacheHierarchy {
   /// Prefetch path: brings the line into L2+L3 (not L1), counting an L3
   /// access (and miss, if absent).
   void Prefetch(uint64_t line_addr);
+  /// L3 probe-and-fill: private level, or the shared domain if attached.
+  /// Returns true on hit.
+  bool AccessL3(uint64_t line_addr);
 
   CacheLevel l1_;
   CacheLevel l2_;
   CacheLevel l3_;
   bool prefetcher_enabled_;
   CacheStats stats_;
+  SharedCacheDomain* shared_l3_ = nullptr;
+  uint32_t shared_owner_ = 0;
 };
 
 }  // namespace nipo

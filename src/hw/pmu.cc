@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "hw/shared_cache.h"
+
 /// \file pmu.cc
 /// Counter-vector arithmetic and formatting, the HwConfig presets
 /// (XeonE5_2630v2 and its scaled variant), and Pmu event intake wiring
@@ -28,6 +30,8 @@ PmuCounters PmuCounters::operator-(const PmuCounters& other) const {
   out.l3_accesses -= other.l3_accesses;
   out.l3_misses -= other.l3_misses;
   out.prefetch_requests -= other.prefetch_requests;
+  out.l3_evictions_caused -= other.l3_evictions_caused;
+  out.l3_evictions_suffered -= other.l3_evictions_suffered;
   out.cycles -= other.cycles;
   return out;
 }
@@ -47,6 +51,8 @@ PmuCounters& PmuCounters::operator+=(const PmuCounters& other) {
   l3_accesses += other.l3_accesses;
   l3_misses += other.l3_misses;
   prefetch_requests += other.prefetch_requests;
+  l3_evictions_caused += other.l3_evictions_caused;
+  l3_evictions_suffered += other.l3_evictions_suffered;
   cycles += other.cycles;
   return *this;
 }
@@ -59,6 +65,8 @@ std::string PmuCounters::ToString() const {
       << " (taken=" << taken_mispredictions
       << ", not_taken=" << not_taken_mispredictions << ")"
       << " L3_accesses=" << l3_accesses << " L3_misses=" << l3_misses
+      << " L3_evictions_caused=" << l3_evictions_caused
+      << " L3_evictions_suffered=" << l3_evictions_suffered
       << " cycles=" << cycles;
   return out.str();
 }
@@ -126,6 +134,13 @@ void Pmu::SyncCacheStats(PmuCounters* c) const {
 PmuCounters Pmu::Read() const {
   PmuCounters out = counters_;
   SyncCacheStats(&out);
+  if (shared_l3_ != nullptr) {
+    const SharedCacheDomain::OwnerStats& s = shared_l3_->stats(shared_owner_);
+    out.l3_evictions_caused =
+        s.evictions_caused - shared_evictions_caused_base_;
+    out.l3_evictions_suffered =
+        s.evictions_suffered - shared_evictions_suffered_base_;
+  }
   // Price the event totals through the cycle model. Pricing once at read
   // time (instead of accumulating a running double per event) is what
   // keeps scalar and batched reporting cycle-identical by construction.
@@ -149,13 +164,44 @@ void Pmu::ResetCounters() {
   for (uint64_t& l : loads_served_) l = 0;
   charged_cycles_ = 0.0;
   cache_baseline_ = caches_.stats();
+  if (shared_l3_ != nullptr) {
+    const SharedCacheDomain::OwnerStats& s = shared_l3_->stats(shared_owner_);
+    shared_evictions_caused_base_ = s.evictions_caused;
+    shared_evictions_suffered_base_ = s.evictions_suffered;
+  }
 }
 
 void Pmu::ResetMachine() {
   ResetCounters();
   predictor_.Reset();
+  // Clears the private hierarchy only; a shared domain belongs to the
+  // workload, not to one machine, and is cleared by its owner.
   caches_.Clear();
   cache_baseline_ = CacheStats{};
+}
+
+void Pmu::AttachSharedL3(SharedCacheDomain* domain, uint32_t owner) {
+  caches_.AttachSharedL3(domain, owner);
+  shared_l3_ = domain;
+  shared_owner_ = owner;
+  shared_evictions_caused_base_ = 0;
+  shared_evictions_suffered_base_ = 0;
+  if (domain != nullptr) {
+    const SharedCacheDomain::OwnerStats& s = domain->stats(owner);
+    shared_evictions_caused_base_ = s.evictions_caused;
+    shared_evictions_suffered_base_ = s.evictions_suffered;
+  }
+}
+
+uint64_t Pmu::SharedL3OccupancyLines() const {
+  return shared_l3_ != nullptr ? shared_l3_->stats(shared_owner_).occupancy_lines
+                               : 0;
+}
+
+uint64_t Pmu::SharedL3PeakOccupancyLines() const {
+  return shared_l3_ != nullptr
+             ? shared_l3_->stats(shared_owner_).peak_occupancy_lines
+             : 0;
 }
 
 void Pmu::OnSequentialLoads(const void* base, uint32_t width,

@@ -47,6 +47,11 @@ struct PmuCounters {
   uint64_t l3_accesses = 0;  ///< demand + prefetch requests reaching L3
   uint64_t l3_misses = 0;
   uint64_t prefetch_requests = 0;
+  /// Shared-L3 cross-owner eviction counters (hw/shared_cache.h); always
+  /// zero for a detached machine and for a single owner, so every
+  /// contention=off bit-equality gate is unaffected.
+  uint64_t l3_evictions_caused = 0;  ///< other owners' lines this one evicted
+  uint64_t l3_evictions_suffered = 0;  ///< own lines evicted by other owners
   uint64_t cycles = 0;  ///< simulated core cycles (see CycleModel)
 
   PmuCounters operator-(const PmuCounters& other) const;
@@ -229,6 +234,22 @@ class Pmu {
   /// Simulated wall-clock milliseconds for `counters`.
   double ToMilliseconds(const PmuCounters& counters) const;
 
+  /// Attaches this machine's L3 to a shared domain under `owner`'s id
+  /// (see hw/shared_cache.h): L1/L2 stay private, L3 fills route through
+  /// the domain, and Read() windows the owner's cross-owner eviction
+  /// counters like the cache stats (baselined at ResetCounters). Pass
+  /// nullptr to detach. CloneFresh() never copies an attachment.
+  void AttachSharedL3(SharedCacheDomain* domain, uint32_t owner);
+  bool shared_l3_attached() const { return shared_l3_ != nullptr; }
+
+  /// Lines this machine currently / at peak owns in the attached shared
+  /// L3 (0 when detached). Gauges, deliberately not PmuCounters fields:
+  /// occupancy is instantaneous state, not an accumulated event count,
+  /// and folding it into the counter vector would break windowed
+  /// subtraction and counter equality.
+  uint64_t SharedL3OccupancyLines() const;
+  uint64_t SharedL3PeakOccupancyLines() const;
+
   BranchPredictor& predictor() { return predictor_; }
   const CacheHierarchy& caches() const { return caches_; }
 
@@ -275,6 +296,12 @@ class Pmu {
   // Cache stats baseline at last ResetCounters(), so counter windows
   // subtract correctly while the hierarchy keeps warm state.
   CacheStats cache_baseline_;
+  // Shared-L3 attachment (nullptr when detached) and the owner's
+  // eviction-counter baselines, refreshed alongside cache_baseline_.
+  SharedCacheDomain* shared_l3_ = nullptr;
+  uint32_t shared_owner_ = 0;
+  uint64_t shared_evictions_caused_base_ = 0;
+  uint64_t shared_evictions_suffered_base_ = 0;
 };
 
 /// \brief A windowed counter sample — the PAPI_read-pair idiom every

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "common/prng.h"
+#include "hw/shared_cache.h"
 #include "optimizer/progressive.h"
 
 namespace nipo {
@@ -240,6 +241,101 @@ TEST_P(PipelineFuzzTest, ProgressiveOptimizerPreservesResults) {
     ASSERT_FALSE(seen[idx]);
     seen[idx] = true;
   }
+}
+
+/// Replays a seeded random multi-owner access trace against a fresh
+/// SharedCacheDomain (hw/shared_cache.h) and returns the final per-owner
+/// stats. Owners interleave streaming sweeps with reuse probes over a
+/// working set larger than the cache, so every accounting path (hits,
+/// misses, ownership transfers, self- and cross-owner evictions) is
+/// exercised.
+std::vector<SharedCacheDomain::OwnerStats> DriveSharedL3(
+    uint64_t seed, SharedCacheDomain* domain, uint64_t* lines_displaced,
+    uint64_t* occupied_lines) {
+  Prng prng(seed);
+  const size_t num_owners = 2 + prng.NextBounded(4);  // 2..5 owners
+  for (size_t o = 0; o < num_owners; ++o) {
+    domain->RegisterOwner("owner" + std::to_string(o));
+  }
+  const uint64_t working_set = domain->capacity_lines() * 4;
+  std::vector<uint64_t> stream_pos(num_owners, 0);
+  const size_t num_accesses = 20'000 + prng.NextBounded(20'000);
+  for (size_t i = 0; i < num_accesses; ++i) {
+    const auto owner = static_cast<uint32_t>(prng.NextBounded(num_owners));
+    uint64_t line;
+    if (prng.NextBool(0.5)) {
+      line = stream_pos[owner]++ % working_set;  // streaming sweep
+    } else {
+      // Reuse probe into a small owner-private hot set.
+      line = working_set + owner * 64 + prng.NextBounded(64);
+    }
+    domain->AccessFill(owner, line);
+  }
+  *lines_displaced = domain->lines_displaced();
+  *occupied_lines = domain->level().occupied_lines();
+  std::vector<SharedCacheDomain::OwnerStats> stats;
+  for (uint32_t o = 0; o < num_owners; ++o) {
+    stats.push_back(domain->stats(o));
+  }
+  return stats;
+}
+
+TEST_P(PipelineFuzzTest, SharedL3MultiOwnerRoundTripIsDeterministic) {
+  const uint64_t seed = GetParam();
+  const CacheGeometry geometry{16 * 1024, 4, 64};  // 256 lines, 64 sets
+  SharedCacheDomain first(geometry), second(geometry);
+  uint64_t displaced[2], occupied[2];
+  const auto a = DriveSharedL3(seed, &first, &displaced[0], &occupied[0]);
+  const auto b = DriveSharedL3(seed, &second, &displaced[1], &occupied[1]);
+  // Same seed, fresh domain: bit-identical per-owner counters.
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t o = 0; o < a.size(); ++o) {
+    EXPECT_EQ(a[o].hits, b[o].hits) << "seed=" << seed << " owner=" << o;
+    EXPECT_EQ(a[o].misses, b[o].misses);
+    EXPECT_EQ(a[o].evictions_caused, b[o].evictions_caused);
+    EXPECT_EQ(a[o].evictions_suffered, b[o].evictions_suffered);
+    EXPECT_EQ(a[o].self_evictions, b[o].self_evictions);
+    EXPECT_EQ(a[o].occupancy_lines, b[o].occupancy_lines);
+    EXPECT_EQ(a[o].peak_occupancy_lines, b[o].peak_occupancy_lines);
+  }
+  EXPECT_EQ(displaced[0], displaced[1]);
+  EXPECT_EQ(occupied[0], occupied[1]);
+}
+
+TEST_P(PipelineFuzzTest, SharedL3EvictionAccountingInvariants) {
+  const uint64_t seed = GetParam();
+  const CacheGeometry geometry{16 * 1024, 4, 64};
+  SharedCacheDomain domain(geometry);
+  uint64_t displaced, occupied;
+  const auto stats = DriveSharedL3(seed, &domain, &displaced, &occupied);
+  uint64_t occupancy_sum = 0, charged = 0, caused = 0;
+  for (const SharedCacheDomain::OwnerStats& s : stats) {
+    occupancy_sum += s.occupancy_lines;
+    charged += s.evictions_suffered + s.self_evictions;
+    caused += s.evictions_caused;
+    EXPECT_LE(s.occupancy_lines, s.peak_occupancy_lines);
+    EXPECT_LE(s.peak_occupancy_lines, domain.capacity_lines());
+  }
+  // Every resident line is owned by exactly one owner.
+  EXPECT_EQ(occupancy_sum, domain.total_occupancy_lines());
+  EXPECT_EQ(occupancy_sum, occupied) << "seed=" << seed;
+  EXPECT_LE(occupancy_sum, domain.capacity_lines());
+  // Every displaced line was charged to exactly one victim, and every
+  // cross-owner eviction has an aggressor.
+  EXPECT_EQ(charged, displaced) << "seed=" << seed;
+  uint64_t suffered = 0;
+  for (const auto& s : stats) suffered += s.evictions_suffered;
+  EXPECT_EQ(caused, suffered);
+  // The trace overflows the cache by construction.
+  EXPECT_GT(displaced, 0u);
+  EXPECT_EQ(occupied, domain.capacity_lines());
+
+  // Clear() drops contents and statistics but keeps registrations.
+  domain.Clear();
+  EXPECT_EQ(domain.num_owners(), stats.size());
+  EXPECT_EQ(domain.total_occupancy_lines(), 0u);
+  EXPECT_EQ(domain.lines_displaced(), 0u);
+  EXPECT_EQ(domain.level().occupied_lines(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest,
