@@ -1,0 +1,434 @@
+/// \file service_latency.cc
+/// Open-loop service latency under shared-L3 contention (DESIGN.md
+/// Section 7 "Open-loop service mode"): a phased workload — repeated
+/// rounds of two L3-thrashing FK-probe joins arriving back-to-back
+/// followed by a stretch of small scans and small joins — arrives as a
+/// Poisson stream on a 2-worker pool with contention on, swept across
+/// arrival rates from well below saturation to past it, under four
+/// admission configurations:
+///
+///   fixed_mc1     one query in flight — no interference ever, but half
+///                 the pool idles, so the saturation knee comes first;
+///   fixed_mc2     two in flight — full worker utilization, but every
+///                 back-to-back thrasher pair co-runs and mutually
+///                 evicts, inflating service times exactly when the
+///                 queue is deepest;
+///   fixed_mc4     four in flight — time-slicing adds latency on top of
+///                 the same thrasher collisions;
+///   adaptive_mc4  cap 4, adaptive admission on — the controller rides
+///                 high concurrency through scan stretches, and its
+///                 occupancy guard pins the limit to one while a
+///                 thrasher's working set owns the shared L3, so
+///                 thrashers run back-to-back *serialized* instead of
+///                 co-run. Mutual eviction costs each thrasher more
+///                 than 2x solo speed here, so serializing the pair
+///                 finishes it sooner than co-running it — capacity the
+///                 fixed limits structurally cannot reach.
+///
+/// The report is the p99-latency-vs-arrival-rate curve per config. Gates:
+/// query results are identical across every config and rate; rerunning
+/// the hardest point (highest rate, adaptive) is bit-identical; every
+/// fixed config shows a saturation knee (p99 at the highest rate is a
+/// multiple of p99 at the lowest); and at the highest rate the adaptive
+/// controller's p99 beats the best fixed configuration (by >= 10% in the
+/// full run; --quick only requires it not to lose). All latency figures
+/// are simulated time, bit-stable on any host.
+///
+/// Run with `--json` (ci/check.sh does, in --quick smoke form) to write
+/// BENCH_service_latency.json for the perf trajectory (EXPERIMENTS.md
+/// "Service latency"). The perf-gate metric is sim_queries_per_sec at
+/// the *lowest* swept rate — in an open loop, throughput at high rate
+/// saturates at the service capacity, but at low rate it tracks the
+/// arrival process through the simulator end to end, so a simulator
+/// slowdown shows up there without tail-noise coupling.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace nipo;
+using namespace nipo::bench;
+
+std::unique_ptr<Table> MakeFact(const std::string& name, size_t n,
+                                uint64_t seed, size_t fk_domain) {
+  Prng prng(seed);
+  std::vector<int32_t> a(n), b(n);
+  std::vector<std::vector<int32_t>> fk(4, std::vector<int32_t>(n));
+  std::vector<int64_t> payload(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(prng.NextBounded(100));
+    b[i] = static_cast<int32_t>(prng.NextBounded(100));
+    for (auto& col : fk) {
+      col[i] = static_cast<int32_t>(prng.NextBounded(fk_domain));
+    }
+    payload[i] = static_cast<int64_t>(prng.NextBounded(1000));
+  }
+  auto t = std::make_unique<Table>(name);
+  NIPO_CHECK(t->AddColumn("a", std::move(a)).ok());
+  NIPO_CHECK(t->AddColumn("b", std::move(b)).ok());
+  for (size_t k = 0; k < fk.size(); ++k) {
+    NIPO_CHECK(
+        t->AddColumn("fk" + std::to_string(k), std::move(fk[k])).ok());
+  }
+  NIPO_CHECK(t->AddColumn("payload", std::move(payload)).ok());
+  return t;
+}
+
+std::unique_ptr<Table> MakeDim(const std::string& name, size_t n,
+                               uint64_t seed) {
+  Prng prng(seed);
+  std::vector<int32_t> attr(n);
+  for (auto& v : attr) v = static_cast<int32_t>(prng.NextBounded(100));
+  auto t = std::make_unique<Table>(name);
+  NIPO_CHECK(t->AddColumn("attr", std::move(attr)).ok());
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+    if (std::string(argv[i]) == "--verbose") verbose = true;
+  }
+  std::string json_path;
+  const bool write_json =
+      ParseJsonFlag(argc, argv, "BENCH_service_latency.json", &json_path);
+
+  // Scaled machine in the style of bench/workload_contention.cc: thrasher
+  // dimensions ~83% of the shared L3 each, so either fits solo but a
+  // co-run pair cannot co-reside; everything else is small. One cycle-
+  // model override: the default memory_cycles (90) is the bandwidth-
+  // amortized *streaming* miss cost, but a thrasher here is a dependent
+  // random FK probe — no memory-level parallelism to amortize, the full
+  // DRAM round trip on every miss, and a working set spanning hundreds
+  // of pages so most probes also pay a TLB walk. Loaded random-read
+  // latency on the modelled Xeon class is ~80 ns, i.e. ~208 cycles at
+  // 2.6 GHz. With the streaming figure the co-run penalty would be
+  // understated (L3 hit 30 vs miss 90), hiding the very
+  // serialize-vs-co-run tradeoff this bench measures.
+  const size_t scale = quick ? 2 : 1;
+  HwConfig hw = HwConfig::ScaledXeon(quick ? 32 : 16);
+  hw.cycle_model.memory_cycles = 208;
+  Engine engine(hw);
+  const size_t thrash_rows = 140'000 / scale;
+  const size_t thrash_dim_rows = 200'000 / scale;  // ~800 KB of int32, ~83% L3
+  const size_t small_rows = 20'000 / scale;
+  const size_t small_dim_rows = 16'000 / scale;
+  NIPO_CHECK(engine
+                 .RegisterTable(
+                     MakeFact("thrash_a", thrash_rows, 1, thrash_dim_rows))
+                 .ok());
+  NIPO_CHECK(engine
+                 .RegisterTable(
+                     MakeFact("thrash_b", thrash_rows, 2, thrash_dim_rows))
+                 .ok());
+  NIPO_CHECK(engine.RegisterTable(MakeDim("dim_a", thrash_dim_rows, 3)).ok());
+  NIPO_CHECK(engine.RegisterTable(MakeDim("dim_b", thrash_dim_rows, 4)).ok());
+  NIPO_CHECK(
+      engine.RegisterTable(MakeFact("small", small_rows, 6, small_dim_rows))
+          .ok());
+  NIPO_CHECK(
+      engine.RegisterTable(MakeDim("dim_small", small_dim_rows, 7)).ok());
+
+  // The phased arrival stream: each round is a thrasher pair arriving
+  // back-to-back (so any max_concurrent >= 2 co-schedules them whenever
+  // the queue is non-empty) followed by nine small scans and two small
+  // FK joins. Rounds repeat, so scan stretches and thrasher collisions
+  // alternate — the phase structure an adaptive limit can exploit and a
+  // fixed one cannot.
+  WorkloadSpec spec;
+  auto add = [&spec, scale](std::string name, QuerySpec query) {
+    WorkloadQuery q;
+    q.name = std::move(name);
+    q.query = std::move(query);
+    q.progressive = false;
+    // Small vectors keep the scheduling (and admission-feedback)
+    // granularity fine: ~35 quanta per thrasher, so the controller can
+    // react within a fraction of a thrasher collision.
+    q.config.vector_size = 512 / scale;
+    spec.queries.push_back(std::move(q));
+  };
+  const size_t rounds = quick ? 2 : 4;
+  for (size_t r = 0; r < rounds; ++r) {
+    const std::string tag = "_r" + std::to_string(r);
+    for (const auto& [fact, dim] :
+         {std::pair<std::string, std::string>{"thrash_a", "dim_a"},
+          {"thrash_b", "dim_b"}}) {
+      // Four independent random FK probes per row over the same
+      // ~83%-of-L3 dimension, many more probes than the dimension has
+      // lines. Solo, the dimension is resident after the compulsory
+      // first touches and every probe hits L3; co-run with the partner
+      // thrasher the two dimensions cannot co-reside, and because each
+      // quantum's probes churn more lines than the partner's reuse
+      // interval can protect, there is no stable low-miss equilibrium —
+      // both queries fall to DRAM-latency probing for the whole overlap
+      // (the bistability the adaptive controller exists to avoid). Four
+      // probe streams, not one, so the fixed per-row scan cost
+      // amortizes and the co-run/solo ratio is dominated by the
+      // miss-vs-L3-hit gap: that pushes the mutual penalty well above
+      // 2x, the break-even beyond which serializing the pair beats
+      // co-running it.
+      QuerySpec join;
+      join.table = fact;
+      const Table* dim_table = engine.GetTable(dim).ValueOrDie();
+      join.ops = {};
+      size_t k = 0;
+      for (const double sel : {90.0, 85.0, 95.0, 80.0}) {
+        join.ops.push_back(OperatorSpec::FkProbe({"fk" + std::to_string(k++),
+                                                  dim_table, "attr",
+                                                  CompareOp::kLt, sel}));
+      }
+      add(fact + tag, join);
+    }
+    for (int i = 0; i < 9; ++i) {
+      // Cache-friendly but compute-heavy: thirty-two high-selectivity
+      // predicate passes over a ~160 KB pair of columns. The small
+      // stretch carries nearly a thrasher pair's worth of work per
+      // round, so the fixed_mc1 policy pays visibly for idling a worker
+      // through it.
+      QuerySpec scan;
+      scan.table = "small";
+      scan.ops = {};
+      for (int pass = 0; pass < 16; ++pass) {
+        scan.ops.push_back(OperatorSpec::Predicate(
+            {"a", CompareOp::kLt, 99.0 - static_cast<double>((i + pass) % 3)}));
+        scan.ops.push_back(OperatorSpec::Predicate(
+            {"b", CompareOp::kLt, 99.0 - static_cast<double>(pass % 3)}));
+      }
+      add("small_" + std::to_string(i) + tag, scan);
+    }
+    for (int i = 0; i < 2; ++i) {
+      QuerySpec join;
+      join.table = "small";
+      const Table* dim_small = engine.GetTable("dim_small").ValueOrDie();
+      join.ops = {OperatorSpec::Predicate({"a", CompareOp::kLt, 60.0}),
+                  OperatorSpec::FkProbe(
+                      {"fk0", dim_small, "attr", CompareOp::kLt, 80.0}),
+                  OperatorSpec::FkProbe(
+                      {"fk1", dim_small, "attr", CompareOp::kLt, 55.0}),
+                  OperatorSpec::FkProbe(
+                      {"fk2", dim_small, "attr", CompareOp::kLt, 30.0})};
+      add("small_join_" + std::to_string(i) + tag, join);
+    }
+  }
+  const size_t num_queries = spec.queries.size();
+  NIPO_CHECK(num_queries == rounds * 13);
+
+  spec.options.num_threads = 2;
+  spec.options.contention = true;
+  // Controller tuning for this scale: decide every 12 quanta with no
+  // hysteresis hold — a freshly admitted thrasher needs ~10 quanta to
+  // build its resident footprint, so a shorter epoch would take its
+  // first raise decision before the crowding is visible and co-admit
+  // the partner thrasher (irrevocably: admission cannot preempt). Treat
+  // a few-percent-of-L3 eviction epoch as pressure (a co-running
+  // thrasher pair is far above this, a scan stretch far below); and —
+  // the load-bearing signal — refuse to raise (and shed) while the
+  // in-flight set owns more than 60% of the shared L3. A resident
+  // thrasher dimension is ~83%, a stretch of smalls well under half, so
+  // the guard exactly separates "thrasher in flight: keep it solo" from
+  // "smalls in flight: co-run freely". start_limit=1 (slow-start)
+  // extends that protection to the very first admission, before any
+  // feedback exists.
+  spec.options.admission.epoch_quanta = 12;
+  spec.options.admission.hold_epochs = 0;
+  spec.options.admission.high_eviction_frac = 0.01;
+  spec.options.admission.low_eviction_frac = 0.003;
+  spec.options.admission.high_slowdown = 1.5;
+  spec.options.admission.high_occupancy_frac = 0.6;
+  spec.options.admission.start_limit = 1;
+
+  // Calibrate the service capacity mu from a closed-queue contended run
+  // at max_concurrent = 2 (full pool, the workload's natural operating
+  // point), then sweep the Poisson arrival rate relative to it. The
+  // calibration run is part of the measurement contract: it pins the
+  // rate grid to the simulated machine, so the same lambda/mu fractions
+  // mean the same thing in --quick and full runs.
+  spec.options.max_concurrent = 2;
+  spec.options.adaptive_admission = false;
+  spec.options.arrival = ArrivalSpec{};
+  auto calib = engine.ExecuteWorkload(spec);
+  NIPO_CHECK(calib.ok());
+  const double mu_qps = calib.ValueOrDie().sim_queries_per_sec;
+  const std::vector<double> load_fractions = {0.25, 0.5, 1.0, 2.0};
+
+  struct Config {
+    std::string name;
+    size_t max_concurrent = 0;
+    bool adaptive = false;
+  };
+  const std::vector<Config> configs = {
+      {"fixed_mc1", 1, false},
+      {"fixed_mc2", 2, false},
+      {"fixed_mc4", 4, false},
+      {"adaptive_mc4", 4, true},
+  };
+
+  auto run_point = [&](const Config& config, double rate_qps) {
+    spec.options.max_concurrent = config.max_concurrent;
+    spec.options.adaptive_admission = config.adaptive;
+    spec.options.arrival.kind = ArrivalKind::kPoisson;
+    spec.options.arrival.rate_qps = rate_qps;
+    spec.options.arrival.seed = 42;
+    auto r = engine.ExecuteWorkload(spec);
+    NIPO_CHECK(r.ok());
+    return std::move(r.ValueOrDie());
+  };
+
+  // reports[c][f]: config c at load fraction f.
+  std::vector<std::vector<WorkloadReport>> reports(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    for (const double frac : load_fractions) {
+      reports[c].push_back(run_point(configs[c], frac * mu_qps));
+    }
+  }
+
+  // Gate 1: query results are identical across every config and every
+  // arrival rate (and match the closed-queue calibration run).
+  const WorkloadReport& reference = calib.ValueOrDie();
+  for (const auto& per_config : reports) {
+    for (const WorkloadReport& r : per_config) {
+      for (size_t i = 0; i < num_queries; ++i) {
+        NIPO_CHECK(r.queries[i].drive.qualifying_tuples ==
+                   reference.queries[i].drive.qualifying_tuples);
+        NIPO_CHECK(r.queries[i].drive.aggregate ==
+                   reference.queries[i].drive.aggregate);
+      }
+    }
+  }
+
+  // Gate 2: the hardest point — highest rate, adaptive, contended — is
+  // bit-identical when rerun, per query and in every tail statistic.
+  {
+    const WorkloadReport& first = reports.back().back();
+    const WorkloadReport rerun =
+        run_point(configs.back(), load_fractions.back() * mu_qps);
+    NIPO_CHECK(rerun.latency == first.latency);
+    NIPO_CHECK(rerun.queue_wait == first.queue_wait);
+    NIPO_CHECK(rerun.sim_makespan_msec == first.sim_makespan_msec);
+    for (size_t i = 0; i < num_queries; ++i) {
+      NIPO_CHECK(rerun.queries[i].sim_latency_msec ==
+                 first.queries[i].sim_latency_msec);
+      NIPO_CHECK(rerun.queries[i].sim_queue_wait_msec ==
+                 first.queries[i].sim_queue_wait_msec);
+    }
+  }
+
+  TablePrinter table("Service latency, " + std::to_string(num_queries) +
+                     " queries, Poisson arrivals, 2 workers, contention on "
+                     "(p99 simulated msec by load fraction)");
+  std::vector<std::string> header = {"config"};
+  for (const double frac : load_fractions) {
+    header.push_back("p99 @ " + FormatDouble(frac, 1) + "mu");
+  }
+  header.push_back("qps @ low rate");
+  table.SetHeader(header);
+  for (size_t c = 0; c < configs.size(); ++c) {
+    std::vector<std::string> row = {configs[c].name};
+    for (const WorkloadReport& r : reports[c]) {
+      row.push_back(FormatDouble(r.latency.p99_msec, 3));
+    }
+    row.push_back(FormatDouble(reports[c][0].sim_queries_per_sec, 3));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "service capacity mu (closed queue, mc=2): "
+            << FormatDouble(mu_qps, 3) << " queries/sec simulated\n";
+  {
+    const WorkloadReport& hi = reports.back().back();
+    std::cout << "adaptive @ highest rate: final limit "
+              << hi.admission_final_limit << ", min seen "
+              << hi.admission_min_limit << ", +" << hi.admission_increases
+              << "/-" << hi.admission_decreases << " steps\n";
+  }
+  if (verbose) {
+    for (size_t c = 0; c < configs.size(); ++c) {
+      for (size_t f = 0; f < load_fractions.size(); ++f) {
+        PrintWorkloadReport(reports[c][f],
+                            configs[c].name + " @ " +
+                                FormatDouble(load_fractions[f], 1) + "mu",
+                            std::cout);
+      }
+    }
+  }
+
+  // Gate 3: every fixed configuration shows a saturation knee — p99 at
+  // the highest swept rate is a multiple of p99 at the lowest. The 2x
+  // knee is a full-run property: --quick has half the rounds, so the
+  // queue barely builds before the stream ends and the smoke run only
+  // checks that the tail clearly grows with the rate.
+  const double knee_factor = quick ? 1.25 : 2.0;
+  for (size_t c = 0; c < configs.size(); ++c) {
+    if (configs[c].adaptive) continue;
+    NIPO_CHECK(reports[c].back().latency.p99_msec >
+               knee_factor * reports[c].front().latency.p99_msec);
+  }
+
+  // Gate 4: at the highest rate the adaptive controller beats the best
+  // fixed limit — by >= 10% in the full run; --quick (smaller data on a
+  // smaller machine, fewer rounds for phases to repeat) only requires it
+  // not to lose.
+  double best_fixed_p99 = 0;
+  double adaptive_p99 = 0;
+  for (size_t c = 0; c < configs.size(); ++c) {
+    const double p99 = reports[c].back().latency.p99_msec;
+    if (configs[c].adaptive) {
+      adaptive_p99 = p99;
+    } else if (best_fixed_p99 == 0 || p99 < best_fixed_p99) {
+      best_fixed_p99 = p99;
+    }
+  }
+  std::cout << "p99 at highest rate: best fixed "
+            << FormatDouble(best_fixed_p99, 3) << " msec, adaptive "
+            << FormatDouble(adaptive_p99, 3) << " msec ("
+            << FormatDouble(100.0 * (1.0 - adaptive_p99 / best_fixed_p99), 1)
+            << "% lower)\n";
+  NIPO_CHECK(adaptive_p99 <= (quick ? 1.0 : 0.9) * best_fixed_p99);
+
+  if (write_json) {
+    JsonValue out_configs = JsonValue::Array();
+    for (size_t c = 0; c < configs.size(); ++c) {
+      JsonValue p99s = JsonValue::Array();
+      for (const WorkloadReport& r : reports[c]) {
+        p99s.Push(JsonValue::Object()
+                      .Add("rate_qps", r.arrival_rate_qps)
+                      .Add("p50_msec", r.latency.p50_msec)
+                      .Add("p99_msec", r.latency.p99_msec)
+                      .Add("max_msec", r.latency.max_msec)
+                      .Add("queue_wait_p99_msec", r.queue_wait.p99_msec));
+      }
+      out_configs.Push(
+          JsonValue::Object()
+              .Add("name", configs[c].name)
+              .Add("max_concurrent",
+                   static_cast<uint64_t>(configs[c].max_concurrent))
+              .Add("adaptive", configs[c].adaptive)
+              .Add("sim_queries_per_sec",
+                   reports[c][0].sim_queries_per_sec)
+              .Add("p99_at_highest_rate_msec",
+                   reports[c].back().latency.p99_msec)
+              .Add("points", p99s));
+    }
+    WriteJsonArtifact(
+        json_path,
+        JsonValue::Object()
+            .Add("bench", "service_latency")
+            .Add("quick", quick)
+            .Add("num_queries", static_cast<uint64_t>(num_queries))
+            .Add("num_threads", static_cast<uint64_t>(spec.options.num_threads))
+            .Add("service_capacity_mu_qps", mu_qps)
+            .Add("results_identical", true)
+            .Add("rerun_bit_identical", true)
+            .Add("adaptive_vs_best_fixed_p99_ratio",
+                 adaptive_p99 / best_fixed_p99)
+            .Add("configs", out_configs));
+  }
+  return 0;
+}

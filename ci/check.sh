@@ -54,10 +54,15 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
   echo "== perf smoke: workload_contention =="
   "$BUILD_DIR"/bench/workload_contention --quick \
       --json="$BUILD_DIR"/BENCH_workload_contention.json
+  echo "== perf smoke: service_latency =="
+  "$BUILD_DIR"/bench/service_latency --quick \
+      --json="$BUILD_DIR"/BENCH_service_latency.json
 
   # Perf-regression gate: the smoke tuples/sec (queries/sec for the
-  # contention bench) must stay within a generous factor of the committed
-  # anchor (see ci/perf_gate.py).
+  # contention and service benches) must stay within a generous factor of
+  # the committed anchor (see ci/perf_gate.py). The service-latency gate
+  # metric is open-loop throughput at the lowest swept rate — p99 tails
+  # are load-shape measurements, not simulator-health ones.
   if [[ "${NIPO_PERF_GATE:-1}" == "1" ]]; then
     if command -v python3 >/dev/null; then
       echo "== perf gate: smoke vs committed anchor =="
@@ -68,6 +73,10 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
           --smoke "$BUILD_DIR"/BENCH_workload_contention.json \
           --metric sim_queries_per_sec \
           --min-ratio "${NIPO_PERF_GATE_MIN:-0.5}"
+      python3 ci/perf_gate.py --anchor BENCH_service_latency.json \
+          --smoke "$BUILD_DIR"/BENCH_service_latency.json \
+          --metric sim_queries_per_sec \
+          --min-ratio "${NIPO_PERF_GATE_MIN:-0.5}"
     else
       echo "== perf gate: python3 not installed, skipping =="
     fi
@@ -75,18 +84,19 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
 fi
 
 # ThreadSanitizer pass over the concurrency tests (the sharded parallel
-# driver, the multi-query workload driver, and the shared-L3 contention
-# layer, whose contention=off path still runs the threaded pool). Tests
-# only (no benches/examples) keeps the second build tree small.
+# driver, the multi-query workload driver, the shared-L3 contention
+# layer, and the open-loop service mode, whose contention=off path still
+# runs the threaded pool). Tests only (no benches/examples) keeps the
+# second build tree small.
 if [[ "${NIPO_TSAN:-1}" == "1" ]]; then
   echo "== ThreadSanitizer build: parallel + workload driver tests =="
   cmake -B "$BUILD_DIR-tsan" -S . -DNIPO_TSAN=ON \
       -DNIPO_BUILD_BENCHES=OFF -DNIPO_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
       --target parallel_driver_test workload_driver_test \
-      workload_contention_test
+      workload_contention_test service_mode_test
   (cd "$BUILD_DIR-tsan" && NIPO_TEST_THREADS=8 \
-      ctest -R 'parallel_driver_test|workload_driver_test|workload_contention_test' \
+      ctest -R 'parallel_driver_test|workload_driver_test|workload_contention_test|service_mode_test' \
       --output-on-failure)
 fi
 

@@ -163,6 +163,15 @@ class Engine {
   /// ExecuteBaseline / ExecuteProgressive, and the aggregate report's
   /// simulated makespan / latencies / queries-per-sec are bit-stable on
   /// any host.
+  ///
+  /// Service mode (DESIGN.md Section 7): `spec.options.arrival` switches
+  /// the closed queue to an open arrival stream (uniform / Poisson /
+  /// bursty over the seeded PRNG) with per-query latency decomposed into
+  /// queue wait + in-service span and p50/p95/p99/max tails in the
+  /// report; `spec.options.adaptive_admission` lets the admission limit
+  /// self-tune inside [1, max_concurrent] from simulated interference
+  /// feedback. Both compose with `spec.options.contention`, and every
+  /// latency figure stays bit-stable.
   Result<WorkloadReport> ExecuteWorkload(const WorkloadSpec& spec) const;
 
   /// Builds the fresh simulated machine every execution runs on (cold

@@ -149,10 +149,14 @@ void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
 
 void PrintWorkloadReport(const WorkloadReport& report,
                          const std::string& title, std::ostream& out) {
+  const bool open = report.arrival_kind != ArrivalKind::kClosed;
   TablePrinter queries(title + " - queries");
   std::vector<std::string> header = {"query",     "mode",       "qualifying",
                                      "machine msec", "sim start", "sim finish",
                                      "quanta",    "PEO changes"};
+  if (open) {
+    header.insert(header.end(), {"arrival", "queue wait", "latency"});
+  }
   if (report.contention) {
     header.insert(header.end(),
                   {"L3 evict suffered", "L3 evict caused", "L3 occ peak"});
@@ -166,6 +170,11 @@ void PrintWorkloadReport(const WorkloadReport& report,
         FormatDouble(q.sim_start_msec, 3), FormatDouble(q.sim_finish_msec, 3),
         std::to_string(q.quanta),
         q.progressive ? std::to_string(q.changes.size()) : "-"};
+    if (open) {
+      row.push_back(FormatDouble(q.sim_arrival_msec, 3));
+      row.push_back(FormatDouble(q.sim_queue_wait_msec, 3));
+      row.push_back(FormatDouble(q.sim_latency_msec, 3));
+    }
     if (report.contention) {
       row.push_back(std::to_string(q.drive.total.l3_evictions_suffered));
       row.push_back(std::to_string(q.drive.total.l3_evictions_caused));
@@ -187,11 +196,31 @@ void PrintWorkloadReport(const WorkloadReport& report,
     out << " (shared L3: " << report.shared_l3_capacity_lines
         << " lines, displaced: " << report.shared_l3_lines_displaced << ")";
   }
-  out << "\n"
-      << "simulated makespan: " << FormatDouble(report.sim_makespan_msec, 3)
+  out << "\n";
+  if (open) {
+    out << "arrivals: " << ArrivalKindToString(report.arrival_kind) << " at "
+        << FormatDouble(report.arrival_rate_qps, 1) << " queries/sec\n";
+  }
+  if (report.adaptive_admission) {
+    out << "adaptive admission: limit " << report.admission_final_limit
+        << " (min seen: " << report.admission_min_limit
+        << ", +" << report.admission_increases << "/-"
+        << report.admission_decreases << " steps)\n";
+  }
+  out << "simulated makespan: " << FormatDouble(report.sim_makespan_msec, 3)
       << " msec (serial: " << FormatDouble(report.sim_serial_msec, 3)
       << " msec, speedup " << FormatDouble(speedup, 2) << "x), "
       << FormatDouble(report.sim_queries_per_sec, 1) << " queries/sec\n"
+      << "latency msec (simulated): p50 "
+      << FormatDouble(report.latency.p50_msec, 3) << ", p95 "
+      << FormatDouble(report.latency.p95_msec, 3) << ", p99 "
+      << FormatDouble(report.latency.p99_msec, 3) << ", max "
+      << FormatDouble(report.latency.max_msec, 3) << "\n"
+      << "queue wait msec (simulated): p50 "
+      << FormatDouble(report.queue_wait.p50_msec, 3) << ", p95 "
+      << FormatDouble(report.queue_wait.p95_msec, 3) << ", p99 "
+      << FormatDouble(report.queue_wait.p99_msec, 3) << ", max "
+      << FormatDouble(report.queue_wait.max_msec, 3) << "\n"
       << "host wall: " << FormatDouble(report.wall_msec, 3) << " msec, "
       << FormatDouble(report.wall_queries_per_sec, 1)
       << " queries/sec (not simulated)\n";

@@ -38,8 +38,10 @@ void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
                                     std::ostream& out);
 
 /// \brief Renders a workload execution: one row per query (mode, result,
-/// machine time, simulated queue/finish times, PEO changes) plus the
-/// aggregate schedule lines (makespan, throughput, pool utilization).
+/// machine time, simulated queue/finish times, PEO changes; arrival /
+/// queue-wait / latency columns in open-loop runs) plus the aggregate
+/// schedule lines (makespan, throughput, latency and queue-wait tails,
+/// adaptive-admission trajectory, pool utilization).
 void PrintWorkloadReport(const WorkloadReport& report,
                          const std::string& title, std::ostream& out);
 

@@ -13,14 +13,16 @@
 #include "hw/shared_cache.h"
 
 /// \file workload_driver.cc
-/// Multi-query workload scheduling (DESIGN.md "Workload execution" and
-/// Section 6 "Shared-cache contention"): policy-driven admission control
-/// over a slot table, a vector-granular round-robin ready queue, per-query
-/// private machines and optimizers stepping the exact single-query driver
-/// sequence, and one event-driven schedule core that serves three roles —
-/// the deterministic simulated-schedule replay, the policy-aware variant
-/// of it, and the contention-mode executor that runs quanta *inside* the
-/// event loop against a shared L3 domain.
+/// Multi-query workload scheduling (DESIGN.md "Workload execution",
+/// Section 6 "Shared-cache contention", Section 7 "Open-loop service
+/// mode"): policy-driven admission control over a slot table, a
+/// vector-granular round-robin ready queue, per-query private machines
+/// and optimizers stepping the exact single-query driver sequence, and
+/// one event-driven schedule core that serves every schedule-shaped
+/// role — the deterministic simulated-schedule replay, the policy-aware
+/// variant of it, open-loop arrival release, the adaptive admission
+/// limit, and the contention-mode executor that runs quanta *inside*
+/// the event loop against a shared L3 domain.
 
 namespace nipo {
 
@@ -65,6 +67,13 @@ struct QueryRun {
 
   /// Per-quantum simulated durations, input of the schedule replay.
   std::vector<double> quantum_msec;
+  /// Per-quantum shared-L3 evictions suffered (parallel to quantum_msec;
+  /// zero when contention=off) — with quantum_msec and
+  /// quantum_occupancy, the QuantumTrace replay input of adaptive runs.
+  std::vector<uint64_t> quantum_evictions;
+  /// Per-quantum live shared-L3 occupancy after the quantum (lines owned
+  /// by in-flight queries; zero when contention=off).
+  std::vector<uint64_t> quantum_occupancy;
   /// touched_workers[w] != 0 iff host worker w ran a quantum of this
   /// query (sized num_threads at admission).
   std::vector<uint8_t> touched_workers;
@@ -181,10 +190,14 @@ size_t PickNextAdmission(
   return 0;
 }
 
-/// What one dispatched quantum produced: its simulated duration and
-/// whether it completed the query.
+/// What one dispatched quantum produced: its simulated duration, the
+/// shared-L3 evictions suffered inside it and the live shared-L3
+/// occupancy after it (adaptive-controller feedback; zero without
+/// contention), and whether it completed the query.
 struct QuantumOutcome {
   double duration_msec = 0;
+  uint64_t evictions_suffered = 0;
+  uint64_t occupancy_lines = 0;
   bool done = false;
 };
 
@@ -197,32 +210,62 @@ struct EventLoopHooks {
 };
 
 /// The event-driven schedule core shared by the replay and the
-/// contention-mode executor: admission picked by `cfg.policy` into at
-/// most `max_concurrent` slots, a round-robin ready queue, dispatch of
-/// the front query to the earliest-free of `num_threads` simulated
-/// workers. `run_quantum(q)` is called at q's dispatch points *in
-/// dispatch order* — for a replay it returns recorded durations; for
-/// contended execution it actually runs the quantum, which is exactly
-/// what serializes the shared-L3 interleaving into event order. Ties in
-/// completion time break by dispatch sequence, making the loop fully
-/// deterministic.
+/// event-driven executor: admission picked by `cfg.policy` into at most
+/// `max_concurrent` slots (lowered live by `controller` when adaptive),
+/// a round-robin ready queue, dispatch of the front query to the
+/// earliest-free of `num_threads` simulated workers. `run_quantum(q)` is
+/// called at q's dispatch points *in dispatch order* — for a replay it
+/// returns recorded durations; for contended execution it actually runs
+/// the quantum, which is exactly what serializes the shared-L3
+/// interleaving into event order.
+///
+/// Open-loop mode: `arrival_msec` (empty = closed queue; otherwise
+/// non-decreasing, one instant per query) gates when each query joins
+/// the pending set. The loop advances the clock to the next arrival when
+/// idle, and at equal times releases arrivals *before* processing the
+/// completion event — so the rate -> infinity limit (all arrivals at
+/// t = 0) reproduces the closed queue exactly.
+///
+/// Adaptive mode: a non-null `controller` is fed every quantum
+/// completion in event order (duration, evictions, occupancy) and its
+/// limit() caps admissions from then on. Both the live run and the
+/// trace replay feed it the same sequence, so the decisions — and hence
+/// the schedule — are bit-identical.
+///
+/// Ties in completion time break by dispatch sequence, making the loop
+/// fully deterministic.
 SimSchedule RunEventSchedule(
     size_t n, size_t num_threads, size_t max_concurrent,
-    const SchedulePolicyConfig& cfg,
+    const SchedulePolicyConfig& cfg, const std::vector<double>& arrival_msec,
+    AdmissionController* controller,
     const std::function<QuantumOutcome(size_t)>& run_quantum,
     const EventLoopHooks& hooks, size_t* peak_in_flight_out) {
   SimSchedule schedule;
+  schedule.arrival_msec.assign(n, 0.0);
   schedule.start_msec.assign(n, 0.0);
   schedule.finish_msec.assign(n, 0.0);
+  schedule.queue_wait_msec.assign(n, 0.0);
+  schedule.latency_msec.assign(n, 0.0);
   if (n == 0) return schedule;
   NIPO_CHECK(num_threads > 0);
   NIPO_CHECK(max_concurrent > 0);
+  if (!arrival_msec.empty()) {
+    NIPO_CHECK(arrival_msec.size() == n);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      NIPO_CHECK(arrival_msec[i] <= arrival_msec[i + 1]);
+    }
+    schedule.arrival_msec = arrival_msec;
+  }
 
   struct Event {
     double time = 0;
     uint64_t seq = 0;
     size_t query = 0;
     bool done = false;
+    /// The completed quantum, for the controller's feedback.
+    double duration_msec = 0;
+    uint64_t evictions_suffered = 0;
+    uint64_t occupancy_lines = 0;
     bool operator>(const Event& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
@@ -237,15 +280,28 @@ SimSchedule RunEventSchedule(
     double since = 0;  ///< when the query (re-)entered the ready queue
   };
   std::deque<ReadyEntry> ready;
-  std::vector<size_t> pending(n);
-  std::iota(pending.begin(), pending.end(), size_t{0});
+  std::vector<size_t> pending;
+  pending.reserve(n);
+  size_t next_arrival = 0;  ///< queries [next_arrival, n) not yet arrived
   std::vector<size_t> in_flight;
   std::vector<bool> started(n, false);
   size_t peak_in_flight = 0;
   uint64_t seq = 0;
 
+  // Arrival schedules are non-decreasing in query index, so releasing in
+  // index order keeps `pending` in spec order — the same order the
+  // closed queue starts from.
+  auto release = [&](double now) {
+    while (next_arrival < n && schedule.arrival_msec[next_arrival] <= now) {
+      pending.push_back(next_arrival++);
+    }
+  };
+  auto effective_limit = [&] {
+    return controller != nullptr ? std::min(max_concurrent, controller->limit())
+                                 : max_concurrent;
+  };
   auto admit = [&](double now) {
-    while (in_flight.size() < max_concurrent) {
+    while (in_flight.size() < effective_limit()) {
       const size_t pos =
           PickNextAdmission(pending, cfg, in_flight, hooks.live_footprint);
       if (pos == kNoPick) break;
@@ -269,26 +325,56 @@ SimSchedule RunEventSchedule(
         schedule.start_msec[entry.query] = start;
       }
       const QuantumOutcome out = run_quantum(entry.query);
-      running.push({start + out.duration_msec, seq++, entry.query, out.done});
+      running.push({start + out.duration_msec, seq++, entry.query, out.done,
+                    out.duration_msec, out.evictions_suffered,
+                    out.occupancy_lines});
     }
   };
 
+  release(0.0);
   admit(0.0);
   dispatch();
-  while (!running.empty()) {
+  while (!running.empty() || next_arrival < n) {
+    if (running.empty() ||
+        (next_arrival < n &&
+         schedule.arrival_msec[next_arrival] <= running.top().time)) {
+      // Next happening is an arrival (or the machine is idle waiting for
+      // one): advance the clock to it and release/admit/dispatch there.
+      const double now = schedule.arrival_msec[next_arrival];
+      release(now);
+      admit(now);
+      dispatch();
+      continue;
+    }
     const Event event = running.top();
     running.pop();
     free_workers.push(event.time);
     if (event.done) {
       schedule.finish_msec[event.query] = event.time;
+      // The latency decomposition, exact by construction: queue wait
+      // (arrival -> first dispatch) plus in-service span.
+      schedule.queue_wait_msec[event.query] =
+          schedule.start_msec[event.query] -
+          schedule.arrival_msec[event.query];
+      schedule.latency_msec[event.query] =
+          schedule.queue_wait_msec[event.query] +
+          (event.time - schedule.start_msec[event.query]);
       schedule.makespan_msec = std::max(schedule.makespan_msec, event.time);
       in_flight.erase(
           std::find(in_flight.begin(), in_flight.end(), event.query));
       if (hooks.on_complete != nullptr) hooks.on_complete(event.query);
-      admit(event.time);
     } else {
       ready.push_back({event.query, event.time});
     }
+    if (controller != nullptr) {
+      controller->OnQuantum(event.query, event.duration_msec,
+                            event.evictions_suffered, event.occupancy_lines,
+                            in_flight.size(), pending.size());
+    }
+    // Completions always free an admission slot; with a controller, a
+    // non-done quantum can also raise the limit, so re-check admission
+    // after every event.
+    if (event.done || controller != nullptr) admit(event.time);
     dispatch();
   }
   if (peak_in_flight_out != nullptr) *peak_in_flight_out = peak_in_flight;
@@ -308,6 +394,11 @@ WorkloadReport AssembleReport(const std::vector<WorkloadTask>& tasks,
   report.max_concurrent = options.max_concurrent;
   report.policy = options.policy;
   report.contention = options.contention;
+  report.arrival_kind = options.arrival.kind;
+  report.arrival_rate_qps = options.arrival.kind == ArrivalKind::kClosed
+                                ? 0.0
+                                : options.arrival.rate_qps;
+  report.adaptive_admission = options.adaptive_admission;
   report.peak_in_flight = peak_in_flight;
   report.wall_msec = wall_msec;
   report.wall_queries_per_sec =
@@ -337,22 +428,35 @@ WorkloadReport AssembleReport(const std::vector<WorkloadTask>& tasks,
     }
     report.sim_serial_msec += q.drive.simulated_msec;
     q.quantum_msec = std::move(run.quantum_msec);
+    q.quantum_evictions = std::move(run.quantum_evictions);
+    q.quantum_occupancy = std::move(run.quantum_occupancy);
   }
   return report;
 }
 
-/// Copies the schedule into the report's per-query and headline fields.
+/// Copies the schedule into the report's per-query and headline fields,
+/// including the latency/queue-wait tail summaries.
 void ApplySchedule(const SimSchedule& schedule, WorkloadReport* report) {
   const size_t n = report->queries.size();
+  LatencyDistribution latency;
+  LatencyDistribution queue_wait;
   for (size_t i = 0; i < n; ++i) {
-    report->queries[i].sim_start_msec = schedule.start_msec[i];
-    report->queries[i].sim_finish_msec = schedule.finish_msec[i];
+    WorkloadQueryReport& q = report->queries[i];
+    q.sim_arrival_msec = schedule.arrival_msec[i];
+    q.sim_start_msec = schedule.start_msec[i];
+    q.sim_finish_msec = schedule.finish_msec[i];
+    q.sim_queue_wait_msec = schedule.queue_wait_msec[i];
+    q.sim_latency_msec = schedule.latency_msec[i];
+    latency.Add(q.sim_latency_msec);
+    queue_wait.Add(q.sim_queue_wait_msec);
   }
   report->sim_makespan_msec = schedule.makespan_msec;
   report->sim_queries_per_sec =
       schedule.makespan_msec > 0
           ? static_cast<double>(n) / (schedule.makespan_msec / 1e3)
           : 0.0;
+  report->latency = latency.Summary();
+  report->queue_wait = queue_wait.Summary();
 }
 
 }  // namespace
@@ -380,8 +484,39 @@ SimSchedule SimulateWorkloadSchedule(
     out.done = next_quantum[q] >= quantum_msec[q].size();
     return out;
   };
-  return RunEventSchedule(n, num_threads, max_concurrent, config, run_quantum,
-                          EventLoopHooks{}, nullptr);
+  return RunEventSchedule(n, num_threads, max_concurrent, config,
+                          /*arrival_msec=*/{}, /*controller=*/nullptr,
+                          run_quantum, EventLoopHooks{}, nullptr);
+}
+
+SimSchedule SimulateWorkloadSchedule(
+    const std::vector<std::vector<QuantumTrace>>& quanta,
+    const std::vector<double>& arrival_msec, size_t num_threads,
+    size_t max_concurrent, const SchedulePolicyConfig& config,
+    const AdaptiveAdmissionSpec* adaptive) {
+  const size_t n = quanta.size();
+  if (n == 0) return SimSchedule{};
+  NIPO_CHECK(config.tasks.empty() || config.tasks.size() == n);
+  std::unique_ptr<AdmissionController> controller;
+  if (adaptive != nullptr) {
+    controller = std::make_unique<AdmissionController>(
+        n, max_concurrent, adaptive->l3_capacity_lines, adaptive->config);
+  }
+  std::vector<size_t> next_quantum(n, 0);
+  auto run_quantum = [&](size_t q) {
+    QuantumOutcome out;
+    if (next_quantum[q] < quanta[q].size()) {
+      out.duration_msec = quanta[q][next_quantum[q]].duration_msec;
+      out.evictions_suffered = quanta[q][next_quantum[q]].evictions_suffered;
+      out.occupancy_lines = quanta[q][next_quantum[q]].occupancy_lines;
+    }
+    ++next_quantum[q];
+    out.done = next_quantum[q] >= quanta[q].size();
+    return out;
+  };
+  return RunEventSchedule(n, num_threads, max_concurrent, config, arrival_msec,
+                          controller.get(), run_quantum, EventLoopHooks{},
+                          nullptr);
 }
 
 WorkloadDriver::WorkloadDriver(const Pmu& prototype, ExecutorFactory factory,
@@ -427,6 +562,31 @@ Result<WorkloadReport> WorkloadDriver::Run(
       return Status::InvalidArgument("reopt_interval must be positive");
     }
   }
+  if (options_.arrival.kind != ArrivalKind::kClosed) {
+    if (!(options_.arrival.rate_qps > 0)) {
+      return Status::InvalidArgument("arrival rate_qps must be positive");
+    }
+    if (options_.arrival.kind == ArrivalKind::kBursty) {
+      if (options_.arrival.burst_len == 0) {
+        return Status::InvalidArgument("burst_len must be positive");
+      }
+      const double burst_rate = options_.arrival.burst_rate_qps > 0
+                                    ? options_.arrival.burst_rate_qps
+                                    : 4.0 * options_.arrival.rate_qps;
+      if (!(burst_rate > options_.arrival.rate_qps)) {
+        return Status::InvalidArgument(
+            "burst_rate_qps must exceed rate_qps");
+      }
+    }
+  }
+  if (options_.adaptive_admission) {
+    if (options_.admission.min_limit == 0) {
+      return Status::InvalidArgument("admission min_limit must be positive");
+    }
+    if (options_.admission.epoch_quanta == 0) {
+      return Status::InvalidArgument("admission epoch_quanta must be positive");
+    }
+  }
 
   const size_t n = tasks.size();
   // Validation pass: compile every task against a scratch machine and
@@ -444,8 +604,13 @@ Result<WorkloadReport> WorkloadDriver::Run(
     }
   }
 
-  if (options_.contention) {
-    return RunContended(tasks);
+  // Anything that shapes execution or feedback through the schedule —
+  // shared-L3 contention, open-loop arrivals, the adaptive limit — runs
+  // inside the deterministic event loop. The plain closed queue keeps
+  // the PR-4 threaded pool below, byte-for-byte.
+  if (options_.contention || options_.adaptive_admission ||
+      options_.arrival.kind != ArrivalKind::kClosed) {
+    return RunEventDriven(tasks);
   }
 
   const size_t num_slots = options_.max_concurrent;
@@ -591,15 +756,35 @@ Result<WorkloadReport> WorkloadDriver::Run(
   return report;
 }
 
-Result<WorkloadReport> WorkloadDriver::RunContended(
+Result<WorkloadReport> WorkloadDriver::RunEventDriven(
     const std::vector<WorkloadTask>& tasks) {
   const size_t n = tasks.size();
-  // One shared L3, sized like the prototype's, with one owner id per
-  // query (the query index). Machines keep their private L1/L2.
-  SharedCacheDomain domain(prototype_.config().l3);
-  for (size_t i = 0; i < n; ++i) {
-    domain.RegisterOwner(tasks[i].name.empty() ? "q" + std::to_string(i)
-                                               : tasks[i].name);
+  // Contention mode: one shared L3, sized like the prototype's, with one
+  // owner id per query (the query index). Machines keep their private
+  // L1/L2. Null when contention=off — queries then run interference-free
+  // (the event loop only shapes *when* quanta run, not what they cost).
+  std::unique_ptr<SharedCacheDomain> domain;
+  if (options_.contention) {
+    domain = std::make_unique<SharedCacheDomain>(prototype_.config().l3);
+    for (size_t i = 0; i < n; ++i) {
+      domain->RegisterOwner(tasks[i].name.empty() ? "q" + std::to_string(i)
+                                                  : tasks[i].name);
+    }
+  }
+  // Open-loop arrival schedule (empty = closed queue: everything
+  // admissible at t = 0, exactly the PR-4/5 event-loop behaviour).
+  std::vector<double> arrivals;
+  if (options_.arrival.kind != ArrivalKind::kClosed) {
+    arrivals = GenerateArrivalTimes(options_.arrival, n);
+  }
+  // Adaptive admission: the live controller, fed by the event loop at
+  // every quantum completion. Its replay twin is rebuilt from the
+  // recorded QuantumTraces in SimulateWorkloadSchedule.
+  std::unique_ptr<AdmissionController> controller;
+  if (options_.adaptive_admission) {
+    controller = std::make_unique<AdmissionController>(
+        n, options_.max_concurrent,
+        domain != nullptr ? domain->capacity_lines() : 0, options_.admission);
   }
 
   const size_t num_slots = options_.max_concurrent;
@@ -627,7 +812,9 @@ Result<WorkloadReport> WorkloadDriver::RunContended(
       }
       run.pmu = slot.get();
     }
-    run.pmu->AttachSharedL3(&domain, static_cast<uint32_t>(index));
+    if (domain != nullptr) {
+      run.pmu->AttachSharedL3(domain.get(), static_cast<uint32_t>(index));
+    }
     auto exec = factory_(index, run.pmu);
     NIPO_CHECK(exec.ok());  // the validation pass proved this compiles
     run.exec = std::move(exec.ValueOrDie());
@@ -645,10 +832,17 @@ Result<WorkloadReport> WorkloadDriver::RunContended(
   hooks.on_complete = [&](size_t index) {
     free_slots.push_back(runs[index].slot);
   };
-  hooks.live_footprint = [&](size_t index) -> uint64_t {
-    return domain.stats(static_cast<uint32_t>(index)).occupancy_lines *
-           domain.line_size();
-  };
+  if (domain != nullptr) {
+    hooks.live_footprint = [&domain](size_t index) -> uint64_t {
+      return domain->stats(static_cast<uint32_t>(index)).occupancy_lines *
+             domain->line_size();
+    };
+  }
+
+  // Completed queries whose shared-L3 residue must be excluded from the
+  // live occupancy fed to the adaptive controller: a dead owner's lines
+  // are reusable capacity, not a crowding signal.
+  std::vector<uint32_t> finished_owners;
 
   auto run_quantum = [&](size_t index) -> QuantumOutcome {
     QueryRun& run = runs[index];
@@ -659,8 +853,18 @@ Result<WorkloadReport> WorkloadDriver::RunContended(
       ExecuteOneVector(&run);
     }
     QuantumOutcome out;
-    out.duration_msec = run.pmu->ToMilliseconds(quantum.Delta());
+    // One side-effect-free window per quantum (CounterWindow reads, never
+    // resets): the duration feeds the schedule, the evictions feed the
+    // adaptive controller, and both are recorded as the quantum's replay
+    // trace. The full-run window (run_begin -> done) spans exactly the
+    // union of the quantum windows — nothing executes between quanta —
+    // so per-query counters cannot double-count across admission or
+    // quantum boundaries (asserted in tests/service_mode_test.cc).
+    const PmuCounters delta = quantum.Delta();
+    out.duration_msec = run.pmu->ToMilliseconds(delta);
+    out.evictions_suffered = delta.l3_evictions_suffered;
     run.quantum_msec.push_back(out.duration_msec);
+    run.quantum_evictions.push_back(out.evictions_suffered);
     run.touched_workers[0] = 1;
     ++run.quanta;
     out.done = run.next_row >= rows;
@@ -668,32 +872,46 @@ Result<WorkloadReport> WorkloadDriver::RunContended(
       run.drive.num_vectors = run.vector_index;
       run.drive.total = run.pmu->Read() - run.run_begin;
       run.drive.simulated_msec = run.pmu->ToMilliseconds(run.drive.total);
-      run.peak_occupancy_lines = run.pmu->SharedL3PeakOccupancyLines();
-      run.final_occupancy_lines = run.pmu->SharedL3OccupancyLines();
-      // Detach so the machine outlives the (function-local) domain
-      // safely; all shared-L3 reads happened above.
-      run.pmu->AttachSharedL3(nullptr, 0);
+      if (domain != nullptr) {
+        run.peak_occupancy_lines = run.pmu->SharedL3PeakOccupancyLines();
+        run.final_occupancy_lines = run.pmu->SharedL3OccupancyLines();
+        // Detach so the machine outlives the (function-local) domain
+        // safely; all shared-L3 reads happened above.
+        run.pmu->AttachSharedL3(nullptr, 0);
+        finished_owners.push_back(static_cast<uint32_t>(index));
+      }
     }
-    if (options_.audit_contention) {
+    if (domain != nullptr) {
+      // Live occupancy: resident lines minus finished owners' residue
+      // (summed at current value — live queries may displace residue
+      // later, so a snapshot at completion time would drift).
+      uint64_t dead_lines = 0;
+      for (const uint32_t o : finished_owners) {
+        dead_lines += domain->stats(o).occupancy_lines;
+      }
+      out.occupancy_lines = domain->total_occupancy_lines() - dead_lines;
+    }
+    run.quantum_occupancy.push_back(out.occupancy_lines);
+    if (domain != nullptr && options_.audit_contention) {
       // Accounting invariants: every resident line is owned by exactly
       // one query, and every displaced line was charged to exactly one.
-      NIPO_CHECK(domain.total_occupancy_lines() ==
-                 domain.level().occupied_lines());
+      NIPO_CHECK(domain->total_occupancy_lines() ==
+                 domain->level().occupied_lines());
       uint64_t charged = 0;
-      for (uint32_t o = 0; o < domain.num_owners(); ++o) {
-        charged += domain.stats(o).evictions_suffered +
-                   domain.stats(o).self_evictions;
+      for (uint32_t o = 0; o < domain->num_owners(); ++o) {
+        charged += domain->stats(o).evictions_suffered +
+                   domain->stats(o).self_evictions;
       }
-      NIPO_CHECK(charged == domain.lines_displaced());
+      NIPO_CHECK(charged == domain->lines_displaced());
     }
     return out;
   };
 
   size_t peak_in_flight = 0;
   const auto wall_start = std::chrono::steady_clock::now();
-  const SimSchedule schedule =
-      RunEventSchedule(n, options_.num_threads, options_.max_concurrent,
-                       policy_cfg, run_quantum, hooks, &peak_in_flight);
+  const SimSchedule schedule = RunEventSchedule(
+      n, options_.num_threads, options_.max_concurrent, policy_cfg, arrivals,
+      controller.get(), run_quantum, hooks, &peak_in_flight);
   const double wall_msec = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - wall_start)
                                .count();
@@ -701,8 +919,16 @@ Result<WorkloadReport> WorkloadDriver::RunContended(
   WorkloadReport report =
       AssembleReport(tasks, &runs, options_, wall_msec, peak_in_flight);
   ApplySchedule(schedule, &report);
-  report.shared_l3_capacity_lines = domain.capacity_lines();
-  report.shared_l3_lines_displaced = domain.lines_displaced();
+  if (domain != nullptr) {
+    report.shared_l3_capacity_lines = domain->capacity_lines();
+    report.shared_l3_lines_displaced = domain->lines_displaced();
+  }
+  if (controller != nullptr) {
+    report.admission_final_limit = controller->limit();
+    report.admission_min_limit = controller->min_limit_seen();
+    report.admission_increases = controller->increases();
+    report.admission_decreases = controller->decreases();
+  }
   return report;
 }
 

@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/admission.h"
+#include "exec/arrival.h"
+#include "exec/latency.h"
 #include "exec/pipeline.h"
 #include "exec/vector_driver.h"
 #include "hw/pmu.h"
@@ -43,6 +46,20 @@
 /// bit-stable makespan, per-query latencies and queries/sec on any host.
 /// Host wall-clock of the pool region is reported alongside, wall-only
 /// and non-deterministic, as in ParallelDriveResult.
+///
+/// Besides the closed queue (every query available at t = 0), the driver
+/// runs *open-loop* service-mode workloads (DESIGN.md "Open-loop service
+/// mode"): WorkloadOptions::arrival describes an arrival process
+/// (exec/arrival.h), queries become admissible only once their simulated
+/// arrival instant is reached, and each query's latency decomposes into
+/// queue wait (arrival -> first dispatch) plus in-service span (first
+/// dispatch -> completion), summarized as p50/p95/p99/max tails in the
+/// report. Optionally an adaptive admission controller (exec/admission.h)
+/// tunes the effective concurrency limit below `max_concurrent` from
+/// per-quantum interference feedback, with a floor-of-one progress
+/// guarantee. Open-loop, adaptive, and contended runs all execute inside
+/// the same deterministic event loop, so every latency figure is
+/// bit-stable and exactly replayable via SimulateWorkloadSchedule.
 
 namespace nipo {
 
@@ -140,6 +157,21 @@ struct WorkloadOptions {
   /// occupied line count; displaced lines equal charged evictions).
   /// Costs a full L3 scan per quantum; tests enable it, benches do not.
   bool audit_contention = false;
+  /// Arrival process of the workload (exec/arrival.h). kClosed (default)
+  /// is the PR-4/5 closed queue; any open kind enqueues query i only at
+  /// its generated simulated arrival instant and reports per-query
+  /// latency = queue wait + in-service span. Open-loop runs execute
+  /// inside the deterministic event loop (like contention mode), so all
+  /// latency figures are bit-stable.
+  ArrivalSpec arrival;
+  /// Adaptive admission (exec/admission.h): tune the effective
+  /// concurrency limit within [1, max_concurrent] from per-quantum
+  /// interference feedback instead of pinning it at max_concurrent.
+  /// Composes with `contention` (eviction feedback) and any arrival
+  /// kind; runs inside the event loop.
+  bool adaptive_admission = false;
+  /// Thresholds and cadence of the adaptive controller.
+  AdmissionConfig admission;
 };
 
 /// \brief Per-query outcome of a workload execution.
@@ -155,12 +187,18 @@ struct WorkloadQueryReport {
   size_t num_optimizations = 0;
   std::vector<double> last_estimate;
   std::vector<size_t> final_order;
-  /// Simulated schedule (deterministic replay): first dispatch and
-  /// completion on the simulated worker pool. Latency = sim_finish_msec
-  /// (all queries arrive at t = 0), of which sim_start_msec was spent
-  /// queued behind admission control.
+  /// Simulated schedule (deterministic replay): arrival instant, first
+  /// dispatch and completion on the simulated worker pool. In the closed
+  /// queue every arrival is 0 and latency equals sim_finish_msec; in
+  /// open-loop modes the latency decomposition is
+  ///   sim_latency_msec = sim_queue_wait_msec + (finish - start)
+  /// with sim_queue_wait_msec = sim_start_msec - sim_arrival_msec, exact
+  /// in floating point by construction.
+  double sim_arrival_msec = 0;
   double sim_start_msec = 0;
   double sim_finish_msec = 0;
+  double sim_queue_wait_msec = 0;
+  double sim_latency_msec = 0;
   /// Scheduling quanta this query was dispatched in.
   size_t quanta = 0;
   /// Distinct host workers that executed at least one quantum of it.
@@ -169,6 +207,16 @@ struct WorkloadQueryReport {
   /// so tests can cross-check live contended schedules against
   /// SimulateWorkloadSchedule).
   std::vector<double> quantum_msec;
+  /// Per-quantum shared-L3 evictions suffered inside the quantum's
+  /// counter window (parallel to quantum_msec; all zero when
+  /// contention=off). Together with quantum_msec and quantum_occupancy
+  /// this is the complete QuantumTrace replay input of adaptive runs.
+  std::vector<uint64_t> quantum_evictions;
+  /// Per-quantum live shared-L3 occupancy after the quantum: lines owned
+  /// by queries still in flight (finished owners' residue excluded), the
+  /// adaptive controller's crowding signal. Parallel to quantum_msec;
+  /// all zero when contention=off.
+  std::vector<uint64_t> quantum_occupancy;
   /// Contention-mode occupancy gauges (lines owned in the shared L3),
   /// sampled when the query's last quantum finished; zero when
   /// contention=off.
@@ -204,13 +252,36 @@ struct WorkloadReport {
   /// displaced from it; zero when contention=off.
   uint64_t shared_l3_capacity_lines = 0;
   uint64_t shared_l3_lines_displaced = 0;
+  /// Arrival-process echo (kClosed / rate 0 for the closed queue).
+  ArrivalKind arrival_kind = ArrivalKind::kClosed;
+  double arrival_rate_qps = 0;
+  /// Tail summaries over the per-query simulated latencies and queue
+  /// waits (simulated-time gauges, bit-stable; docs/COUNTERS.md). In the
+  /// closed queue latency == completion time, so these summarize
+  /// sim_finish_msec.
+  LatencySummary latency;
+  LatencySummary queue_wait;
+  /// Adaptive-admission echoes (exec/admission.h); limit fields are 0
+  /// when adaptive_admission=off.
+  bool adaptive_admission = false;
+  size_t admission_final_limit = 0;
+  size_t admission_min_limit = 0;
+  size_t admission_increases = 0;
+  size_t admission_decreases = 0;
 };
 
 /// \brief The deterministic simulated schedule of a workload, replayed
 /// from per-quantum durations (exposed separately for tests).
 struct SimSchedule {
-  std::vector<double> start_msec;   ///< first dispatch per query
-  std::vector<double> finish_msec;  ///< completion per query
+  std::vector<double> arrival_msec;  ///< arrival instant per query (0 if
+                                     ///< closed)
+  std::vector<double> start_msec;    ///< first dispatch per query
+  std::vector<double> finish_msec;   ///< completion per query
+  /// Admission queue wait: start - arrival, per query.
+  std::vector<double> queue_wait_msec;
+  /// End-to-end latency: queue_wait + (finish - start), per query —
+  /// exact in floating point by construction.
+  std::vector<double> latency_msec;
   double makespan_msec = 0;
 };
 
@@ -247,6 +318,38 @@ SimSchedule SimulateWorkloadSchedule(
     const std::vector<std::vector<double>>& quantum_msec, size_t num_threads,
     size_t max_concurrent, const SchedulePolicyConfig& config);
 
+/// \brief One recorded scheduling quantum: its simulated duration, the
+/// shared-L3 evictions the query suffered inside the quantum's counter
+/// window, and the live shared-L3 occupancy (lines owned by in-flight
+/// queries) after the quantum (both 0 when contention=off). The complete
+/// replay input of a quantum: durations rebuild the schedule, evictions
+/// and occupancy rebuild the adaptive controller's decision sequence.
+struct QuantumTrace {
+  double duration_msec = 0;
+  uint64_t evictions_suffered = 0;
+  uint64_t occupancy_lines = 0;
+};
+
+/// \brief Adaptive-admission inputs of a schedule replay: the controller
+/// thresholds plus the shared-L3 geometry behind its eviction-fraction
+/// signal (0 when contention=off).
+struct AdaptiveAdmissionSpec {
+  AdmissionConfig config;
+  uint64_t l3_capacity_lines = 0;
+};
+
+/// \brief Full service-mode overload: event-driven replay with arrivals
+/// (`arrival_msec[q]`, non-decreasing in q; empty means closed queue)
+/// and, when `adaptive` is non-null, an AdmissionController rebuilt from
+/// the recorded quantum traces, evolving the effective concurrency limit
+/// exactly as the live run did. With empty arrivals and null `adaptive`
+/// this is exactly the policy-aware overload above.
+SimSchedule SimulateWorkloadSchedule(
+    const std::vector<std::vector<QuantumTrace>>& quanta,
+    const std::vector<double>& arrival_msec, size_t num_threads,
+    size_t max_concurrent, const SchedulePolicyConfig& config,
+    const AdaptiveAdmissionSpec* adaptive = nullptr);
+
 /// \brief Drives a multi-query workload over a shared worker pool.
 class WorkloadDriver {
  public:
@@ -271,10 +374,12 @@ class WorkloadDriver {
   const WorkloadOptions& options() const { return options_; }
 
  private:
-  /// Contention-mode execution: quanta run serially inside the
-  /// event-driven schedule, sharing one L3 domain (see
-  /// WorkloadOptions::contention).
-  Result<WorkloadReport> RunContended(const std::vector<WorkloadTask>& tasks);
+  /// Event-driven execution: quanta run serially inside the event loop
+  /// itself, at their simulated dispatch points. Used whenever the
+  /// schedule shapes execution or feedback — contention mode (shared L3
+  /// domain), open-loop arrivals, adaptive admission — in any
+  /// combination.
+  Result<WorkloadReport> RunEventDriven(const std::vector<WorkloadTask>& tasks);
 
   /// The scheduling-field view of `tasks` plus this driver's policy and
   /// L3 budget (prototype L3 capacity).
