@@ -90,6 +90,28 @@ inline std::string PercentLabel(double fraction) {
   return FormatDouble(fraction * 100.0, 4) + "%";
 }
 
+/// Best-of-2 workload execution — the sim_throughput warmup pattern
+/// applied to the workload bench smokes: the first run absorbs process
+/// warmup (page faults, heap growth, cold branch predictors) that
+/// best-of-1 would fold into the host wall-clock figures as
+/// hosted-runner noise. The *simulated* headline metrics are
+/// deterministic within a process, so the warmup rep doubles as a rerun
+/// bit-identity gate on them; the returned report is the run with the
+/// lower host wall time.
+inline WorkloadReport ExecuteWorkloadBestOf2(const Engine& engine,
+                                             const WorkloadSpec& spec) {
+  auto first = engine.ExecuteWorkload(spec);
+  NIPO_CHECK(first.ok());
+  auto second = engine.ExecuteWorkload(spec);
+  NIPO_CHECK(second.ok());
+  WorkloadReport& a = first.ValueOrDie();
+  WorkloadReport& b = second.ValueOrDie();
+  NIPO_CHECK(a.sim_makespan_msec == b.sim_makespan_msec);
+  NIPO_CHECK(a.sim_queries_per_sec == b.sim_queries_per_sec);
+  NIPO_CHECK(a.latency == b.latency);
+  return std::move(a.wall_msec <= b.wall_msec ? a : b);
+}
+
 // ---------------------------------------------------------------------------
 // --json support: benches that track a perf trajectory write a
 // BENCH_<name>.json artifact next to their table output, so CI can archive

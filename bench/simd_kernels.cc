@@ -1,0 +1,274 @@
+/// \file simd_kernels.cc
+/// SIMD kernel bench: host wall-clock throughput of the executor's hot
+/// kernels (DESIGN.md Section 8) — compare-to-mask selection, splitmix64
+/// key hashing, and hash-table probing — AVX2 versus the branch-free
+/// scalar fallback (and batched+prefetched versus dependent per-key
+/// probing), with bit-identity between the two kernel levels enforced on
+/// every configuration.
+///
+/// This is the perf-trajectory anchor for the SIMD layer: run with
+/// `--json` (ci/check.sh does) to write BENCH_simd_kernels.json. The
+/// committed repo-root anchor records the AVX2 speedups this machine
+/// achieves; the CI gate checks the smoke `tuples_per_sec_simd` against
+/// it. `--quick` shrinks the workload to CI-smoke size.
+///
+/// The artifact also carries a "crossover" array: the SIMD-aware pricing
+/// model's branching vs branch-free cycles per tuple across the
+/// selectivity grid, and the priced crossover selectivity — the data
+/// behind EXPERIMENTS.md "SIMD kernels".
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "cost/branch_model.h"
+#include "exec/hash_table.h"
+#include "exec/pipeline.h"
+#include "exec/simd.h"
+
+namespace {
+
+using namespace nipo;
+using namespace nipo::bench;
+
+double WallMsec(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+  }
+  return best;
+}
+
+struct ConfigResult {
+  std::string name;
+  uint64_t rows = 0;
+  double wall_msec_simd = 0;
+  double wall_msec_scalar = 0;
+  double tuples_per_sec_simd = 0;
+  double speedup = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  std::string json_path;
+  const bool write_json =
+      ParseJsonFlag(argc, argv, "BENCH_simd_kernels.json", &json_path);
+
+  const bool avx2 = simd::Avx2Available();
+  // Best-of-2 even in quick mode: the first iteration absorbs process
+  // warmup, which best-of-1 would hand to the perf gate as noise.
+  const int reps = quick ? 2 : 3;
+  // Selection/hash working set: 64k elements (0.5 MB of doubles) stays
+  // resident in the host's caches across the `iters` sweeps, so the
+  // measurement is of the kernel, not of DRAM bandwidth. kSimBlockRows-
+  // sized calls would measure call overhead instead; 64k amortizes it the
+  // way the executor's block loop does.
+  const size_t n = 1u << 16;
+  const size_t iters = quick ? 64 : 512;
+
+  Prng prng(42);
+  std::vector<double> doubles(n);
+  std::vector<int32_t> int32s(n);
+  std::vector<int64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    doubles[i] = prng.NextDouble();
+    int32s[i] = static_cast<int32_t>(prng.NextBounded(1'000'000));
+    keys[i] = static_cast<int64_t>(prng.Next() >> 1);
+  }
+
+  std::vector<ConfigResult> results;
+
+  // Runs `kernel(level, simd_pass)` at both levels, times them, and
+  // checks the two passes produced bit-identical outputs via
+  // `identical()`. The kernels pick their output buffers by `simd_pass`,
+  // not by level: on a host without AVX2 (or under NIPO_SIMD=OFF) the
+  // "simd" pass runs the scalar fallback, and the identity gate then
+  // degenerates to scalar-vs-scalar instead of comparing against buffers
+  // that were never written.
+  auto run_levels = [&](const std::string& name, uint64_t rows,
+                        const std::function<void(simd::SimdLevel, bool)>& kernel,
+                        const std::function<bool()>& identical) {
+    ConfigResult out;
+    out.name = name;
+    out.rows = rows;
+    out.wall_msec_scalar = WallMsec(
+        [&] { kernel(simd::SimdLevel::kScalar, /*simd_pass=*/false); }, reps);
+    out.wall_msec_simd = WallMsec(
+        [&] {
+          kernel(avx2 ? simd::SimdLevel::kAvx2 : simd::SimdLevel::kScalar,
+                 /*simd_pass=*/true);
+        },
+        reps);
+    out.identical = identical();
+    NIPO_CHECK(out.identical);
+    out.tuples_per_sec_simd =
+        static_cast<double>(rows) / (out.wall_msec_simd / 1e3);
+    out.speedup = out.wall_msec_scalar / out.wall_msec_simd;
+    results.push_back(out);
+  };
+
+  // --- selection: compare-to-mask + selection-vector compaction, dense
+  // input, selectivity 0.5 (the branchy executor's worst case). Entries
+  // of the selection vector past the returned count are unspecified, so
+  // identity compares the prefix (plus the full pass-flag array).
+  std::vector<uint8_t> pass_a(n), pass_b(n);
+  std::vector<uint32_t> sel_a(n), sel_b(n);
+  size_t count_a = 0, count_b = 0;
+  const auto select_identical = [&] {
+    return count_a == count_b && pass_a == pass_b &&
+           std::equal(sel_a.begin(),
+                      sel_a.begin() + static_cast<ptrdiff_t>(count_a),
+                      sel_b.begin());
+  };
+  const auto select_config = [&](const std::string& name, DataType type,
+                                 const void* data, double value) {
+    run_levels(
+        name, n * iters,
+        [&, type, data, value](simd::SimdLevel level, bool simd_pass) {
+          for (size_t it = 0; it < iters; ++it) {
+            (simd_pass ? count_b : count_a) = simd::CompareSelect(
+                level, type, static_cast<const uint8_t*>(data), 0,
+                CompareOp::kLt, value, nullptr, nullptr, n,
+                (simd_pass ? pass_b : pass_a).data(),
+                (simd_pass ? sel_b : sel_a).data());
+          }
+        },
+        select_identical);
+  };
+  select_config("select_double", DataType::kDouble, doubles.data(), 0.5);
+  select_config("select_int32", DataType::kInt32, int32s.data(), 500'000.0);
+
+  // --- hashing: the splitmix64 finalizer over int64 keys.
+  std::vector<uint64_t> hash_a(n), hash_b(n);
+  run_levels(
+      "hash_int64", n * iters,
+      [&](simd::SimdLevel level, bool simd_pass) {
+        for (size_t it = 0; it < iters; ++it) {
+          simd::HashKeys(level, keys.data(), n,
+                         (simd_pass ? hash_b : hash_a).data());
+        }
+      },
+      [&] { return hash_a == hash_b; });
+
+  // --- probing: raw chain walks (no simulated booking) over a table far
+  // larger than the host caches; the batched path hides the slot misses
+  // behind SIMD hashing + prefetch, the scalar path walks dependently.
+  {
+    const size_t build = quick ? (1u << 16) : (1u << 21);
+    const size_t probes = quick ? (1u << 19) : (1u << 23);
+    Pmu pmu;  // setup-only booking; ProbeKernel itself books nothing
+    InstrumentedHashTable table(build, &pmu);
+    for (size_t i = 0; i < build; ++i) {
+      const Status st =
+          table.Insert(static_cast<int64_t>(prng.NextBounded(2 * build)),
+                       static_cast<int64_t>(i));
+      // Random keys collide; duplicates keep the first value.
+      NIPO_CHECK(st.ok() || st.code() == StatusCode::kAlreadyExists);
+    }
+    std::vector<int64_t> probe_keys(probes);
+    for (size_t i = 0; i < probes; ++i) {
+      probe_keys[i] = static_cast<int64_t>(prng.NextBounded(2 * build));
+    }
+    std::vector<uint8_t> hits_a(probes), hits_b(probes);
+    std::vector<int64_t> vals_a(probes, 0), vals_b(probes, 0);
+    size_t hits_scalar = 0, hits_batched = 0;
+    ConfigResult out;
+    out.name = "probe_hash_table";
+    out.rows = probes;
+    out.wall_msec_scalar = WallMsec(
+        [&] {
+          hits_scalar = table.ProbeKernel(probe_keys.data(), probes,
+                                          vals_a.data(), hits_a.data(),
+                                          /*batched=*/false);
+        },
+        reps);
+    out.wall_msec_simd = WallMsec(
+        [&] {
+          hits_batched = table.ProbeKernel(probe_keys.data(), probes,
+                                           vals_b.data(), hits_b.data(),
+                                           /*batched=*/true);
+        },
+        reps);
+    out.identical =
+        hits_scalar == hits_batched && hits_a == hits_b && vals_a == vals_b;
+    NIPO_CHECK(out.identical);
+    out.tuples_per_sec_simd =
+        static_cast<double>(probes) / (out.wall_msec_simd / 1e3);
+    out.speedup = out.wall_msec_scalar / out.wall_msec_simd;
+    results.push_back(out);
+  }
+
+  TablePrinter table("SIMD kernel throughput, " +
+                     std::string(avx2 ? "AVX2" : "scalar-only host") +
+                     " vs branch-free scalar (best of " +
+                     std::to_string(reps) + ")");
+  table.SetHeader(
+      {"kernel", "Mtuples/s simd", "Mtuples/s scalar", "speedup", "identical"});
+  for (const ConfigResult& r : results) {
+    table.AddRow({r.name, FormatDouble(r.tuples_per_sec_simd / 1e6, 2),
+                  FormatDouble(static_cast<double>(r.rows) /
+                                   (r.wall_msec_scalar / 1e3) / 1e6,
+                               2),
+                  FormatDouble(r.speedup, 2) + "x",
+                  r.identical ? "bit-identical" : "MISMATCH"});
+  }
+  table.Print(std::cout);
+
+  // --- SIMD-aware pricing curve on the default simulated machine: the
+  // crossover the progressive optimizer uses to pick predicate forms.
+  const HwConfig hw;
+  const double crossover = ComputeFormCrossover(
+      hw.cycle_model, hw.predictor, LoopCostModel::kCompareInstructions,
+      LoopCostModel::kBranchFreeInstructions, 0.0);
+  std::cout << "priced branching/branch-free crossover selectivity: "
+            << FormatDouble(crossover, 4) << "\n";
+
+  if (write_json) {
+    JsonValue root = JsonValue::Object();
+    root.Add("bench", "simd_kernels");
+    root.Add("quick", quick);
+    root.Add("avx2_available", avx2);
+    root.Add("rows", static_cast<uint64_t>(n));
+    JsonValue arr = JsonValue::Array();
+    for (const ConfigResult& r : results) {
+      JsonValue c = JsonValue::Object();
+      c.Add("name", r.name);
+      c.Add("rows", r.rows);
+      c.Add("wall_msec_simd", r.wall_msec_simd);
+      c.Add("wall_msec_scalar", r.wall_msec_scalar);
+      c.Add("tuples_per_sec_simd", r.tuples_per_sec_simd);
+      c.Add("speedup_vs_scalar", r.speedup);
+      c.Add("identical", r.identical);
+      arr.Push(c);
+    }
+    root.Add("configs", arr);
+    JsonValue cross = JsonValue::Array();
+    for (const double s :
+         {0.0, 0.001, 0.01, 0.05, 1.0 / 15.0, 0.1, 0.2, 0.3, 0.5}) {
+      const PredicateFormCosts costs = PricePredicateForms(
+          hw.cycle_model, hw.predictor, s, LoopCostModel::kCompareInstructions,
+          LoopCostModel::kBranchFreeInstructions, 0.0);
+      JsonValue p = JsonValue::Object();
+      p.Add("selectivity", s);
+      p.Add("branching_cycles_per_tuple", costs.branching);
+      p.Add("branch_free_cycles_per_tuple", costs.branch_free);
+      cross.Push(p);
+    }
+    root.Add("crossover", cross);
+    root.Add("crossover_selectivity", crossover);
+    WriteJsonArtifact(json_path, root);
+  }
+  return 0;
+}

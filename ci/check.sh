@@ -2,19 +2,23 @@
 # The tier-1 verify recipe, executable (and what .github/workflows/ci.yml
 # runs on every push/PR): lint -> configure -> build -> ctest twice
 # (1-thread and 8-thread driver configs via the NIPO_TEST_THREADS env
-# var), a perf-smoke run of the simulator-throughput and workload benches
-# (their correctness gates assert counter bit-identity), the
-# perf-regression gate against the committed trajectory anchor, then the
-# concurrency tests again under ThreadSanitizer and the full suite under
-# ASan+UBSan.
+# var), a perf-smoke run of the simulator-throughput, workload, and
+# SIMD-kernel benches (their correctness gates assert counter and kernel
+# bit-identity), one multi-gate perf-regression check against the
+# committed trajectory anchors, then the concurrency tests again under
+# ThreadSanitizer and the full suite under ASan+UBSan.
 #
 # Opt-outs (all default on): NIPO_LINT=0, NIPO_PERF_SMOKE=0 (also skips
 # the gate), NIPO_PERF_GATE=0, NIPO_TSAN=0, NIPO_ASAN=0.
+# NIPO_SIMD=OFF builds without the AVX2 kernels (scalar fallback only;
+# the CI matrix runs one such leg) and drops the SIMD-kernel perf gate,
+# whose anchor records AVX2 throughput.
 # Usage: ci/check.sh [build-dir]   (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+NIPO_SIMD="${NIPO_SIMD:-ON}"
 
 # Lint: the repo ships .clang-format; every source tree file must be
 # formatting-clean. Skipped with a notice where clang-format is not
@@ -29,7 +33,7 @@ if [[ "${NIPO_LINT:-1}" == "1" ]]; then
   fi
 fi
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . -DNIPO_SIMD="$NIPO_SIMD"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 for threads in 1 8; do
   echo "== ctest with NIPO_TEST_THREADS=$threads =="
@@ -37,13 +41,14 @@ for threads in 1 8; do
       ctest --output-on-failure -j "$(nproc)")
 done
 
-# Perf smoke: quick runs of sim_throughput and workload_throughput. Both
-# binaries NIPO_CHECK-fail if any configuration's counters diverge
-# (scalar-vs-batched, and solo-vs-concurrent respectively), so this
-# doubles as an end-to-end counter-invariance gate. Smoke artifacts go
-# into the build dir — the *committed* repo-root BENCH_*.json files are
-# the full-run trajectory anchors (EXPERIMENTS.md "Perf trajectory") and
-# must only be refreshed by a deliberate non---quick run.
+# Perf smoke: quick runs of the trajectory benches. Each binary
+# NIPO_CHECK-fails if any configuration's counters or kernel outputs
+# diverge (scalar-vs-batched reporting, solo-vs-concurrent, and
+# AVX2-vs-scalar kernels respectively), so this doubles as an end-to-end
+# bit-identity gate. Smoke artifacts go into the build dir — the
+# *committed* repo-root BENCH_*.json files are the full-run trajectory
+# anchors (EXPERIMENTS.md "Perf trajectory") and must only be refreshed
+# by a deliberate non---quick run.
 if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
   echo "== perf smoke: sim_throughput =="
   "$BUILD_DIR"/bench/sim_throughput --quick \
@@ -57,26 +62,30 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
   echo "== perf smoke: service_latency =="
   "$BUILD_DIR"/bench/service_latency --quick \
       --json="$BUILD_DIR"/BENCH_service_latency.json
+  echo "== perf smoke: simd_kernels =="
+  "$BUILD_DIR"/bench/simd_kernels --quick \
+      --json="$BUILD_DIR"/BENCH_simd_kernels.json
 
-  # Perf-regression gate: the smoke tuples/sec (queries/sec for the
-  # contention and service benches) must stay within a generous factor of
-  # the committed anchor (see ci/perf_gate.py). The service-latency gate
+  # Perf-regression gate, one invocation over every (anchor, metric)
+  # pair: smoke throughput must stay within a generous factor of the
+  # committed anchors (see ci/perf_gate.py). The service-latency gate
   # metric is open-loop throughput at the lowest swept rate — p99 tails
-  # are load-shape measurements, not simulator-health ones.
+  # are load-shape measurements, not simulator-health ones. The
+  # SIMD-kernel gate is dropped under NIPO_SIMD=OFF: its anchor records
+  # AVX2 throughput the scalar-only build cannot reach.
   if [[ "${NIPO_PERF_GATE:-1}" == "1" ]]; then
     if command -v python3 >/dev/null; then
-      echo "== perf gate: smoke vs committed anchor =="
-      python3 ci/perf_gate.py --anchor BENCH_sim_throughput.json \
-          --smoke "$BUILD_DIR"/BENCH_sim_throughput.json \
-          --min-ratio "${NIPO_PERF_GATE_MIN:-0.5}"
-      python3 ci/perf_gate.py --anchor BENCH_workload_contention.json \
-          --smoke "$BUILD_DIR"/BENCH_workload_contention.json \
-          --metric sim_queries_per_sec \
-          --min-ratio "${NIPO_PERF_GATE_MIN:-0.5}"
-      python3 ci/perf_gate.py --anchor BENCH_service_latency.json \
-          --smoke "$BUILD_DIR"/BENCH_service_latency.json \
-          --metric sim_queries_per_sec \
-          --min-ratio "${NIPO_PERF_GATE_MIN:-0.5}"
+      echo "== perf gate: smoke vs committed anchors =="
+      GATES=(
+        --gate "BENCH_sim_throughput.json:$BUILD_DIR/BENCH_sim_throughput.json"
+        --gate "BENCH_workload_contention.json:$BUILD_DIR/BENCH_workload_contention.json:sim_queries_per_sec"
+        --gate "BENCH_service_latency.json:$BUILD_DIR/BENCH_service_latency.json:sim_queries_per_sec"
+      )
+      if [[ "$NIPO_SIMD" != "OFF" ]]; then
+        GATES+=(--gate "BENCH_simd_kernels.json:$BUILD_DIR/BENCH_simd_kernels.json:tuples_per_sec_simd")
+      fi
+      python3 ci/perf_gate.py --min-ratio "${NIPO_PERF_GATE_MIN:-0.5}" \
+          "${GATES[@]}"
     else
       echo "== perf gate: python3 not installed, skipping =="
     fi
@@ -85,18 +94,18 @@ fi
 
 # ThreadSanitizer pass over the concurrency tests (the sharded parallel
 # driver, the multi-query workload driver, the shared-L3 contention
-# layer, and the open-loop service mode, whose contention=off path still
-# runs the threaded pool). Tests only (no benches/examples) keeps the
-# second build tree small.
+# layer, the open-loop service mode, and the SIMD kernel layer, whose
+# forced-level override is process-global state the executors read).
+# Tests only (no benches/examples) keeps the second build tree small.
 if [[ "${NIPO_TSAN:-1}" == "1" ]]; then
   echo "== ThreadSanitizer build: parallel + workload driver tests =="
-  cmake -B "$BUILD_DIR-tsan" -S . -DNIPO_TSAN=ON \
+  cmake -B "$BUILD_DIR-tsan" -S . -DNIPO_TSAN=ON -DNIPO_SIMD="$NIPO_SIMD" \
       -DNIPO_BUILD_BENCHES=OFF -DNIPO_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
       --target parallel_driver_test workload_driver_test \
-      workload_contention_test service_mode_test
+      workload_contention_test service_mode_test simd_kernels_test
   (cd "$BUILD_DIR-tsan" && NIPO_TEST_THREADS=8 \
-      ctest -R 'parallel_driver_test|workload_driver_test|workload_contention_test|service_mode_test' \
+      ctest -R 'parallel_driver_test|workload_driver_test|workload_contention_test|service_mode_test|simd_kernels_test' \
       --output-on-failure)
 fi
 
@@ -104,7 +113,7 @@ fi
 # -fno-sanitize-recover promotes every UBSan finding to an abort).
 if [[ "${NIPO_ASAN:-1}" == "1" ]]; then
   echo "== ASan+UBSan build: full test suite =="
-  cmake -B "$BUILD_DIR-asan" -S . -DNIPO_ASAN=ON \
+  cmake -B "$BUILD_DIR-asan" -S . -DNIPO_ASAN=ON -DNIPO_SIMD="$NIPO_SIMD" \
       -DNIPO_BUILD_BENCHES=OFF -DNIPO_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR-asan" -j "$(nproc)"
   (cd "$BUILD_DIR-asan" && NIPO_TEST_THREADS=8 \

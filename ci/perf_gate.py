@@ -1,24 +1,40 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over the simulator-throughput trajectory.
+"""Perf-regression gate over the bench trajectory anchors.
 
-Compares a fresh smoke run of a bench (--quick --json) against its
-committed repo-root BENCH_*.json anchor: for every configuration present
-in both, the smoke value of ``--metric`` (batched tuples/sec for
-bench/sim_throughput, simulated queries/sec for the workload benches) must
-stay above ``min_ratio`` times the anchor value. The tolerance is deliberately
+Compares fresh smoke runs of the benches (--quick --json) against their
+committed repo-root BENCH_*.json anchors: for every configuration present
+in both, the smoke value of the gate's metric (batched tuples/sec for
+bench/sim_throughput, simulated queries/sec for the workload benches,
+SIMD-kernel tuples/sec for bench/simd_kernels) must stay above
+``min_ratio`` times the anchor value. The tolerance is deliberately
 generous (default 0.5x) because the smoke run is smaller than the anchor
 run and CI machines differ from the machine that recorded the anchor; the
-gate exists to catch order-of-magnitude simulator regressions (an
+gate exists to catch order-of-magnitude regressions (an
 accidentally-scalar hot loop, a per-tuple hierarchy walk creeping back),
 not single-digit-percent noise.
 
-Exit status: 0 = pass, 1 = regression, 2 = usage/input error.
+Two invocation forms:
+
+  Multiple gates in one run (what ci/check.sh uses)::
+
+      perf_gate.py --min-ratio 0.5 \\
+          --gate ANCHOR:SMOKE[:METRIC] [--gate ...]
+
+  Single gate (backward compatible)::
+
+      perf_gate.py --anchor A --smoke S [--metric M] [--min-ratio R]
+
+METRIC defaults to tuples_per_sec_batched either way.
+
+Exit status: 0 = all gates pass, 1 = regression, 2 = usage/input error.
 Wired as an opt-out step in ci/check.sh (NIPO_PERF_GATE=0 skips).
 """
 
 import argparse
 import json
 import sys
+
+DEFAULT_METRIC = "tuples_per_sec_batched"
 
 
 def load_configs(path, metric):
@@ -53,50 +69,93 @@ def format_rate(value):
     return f"{value:8.1f} "
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--anchor", required=True,
-                        help="committed BENCH_sim_throughput.json")
-    parser.add_argument("--smoke", required=True,
-                        help="fresh smoke-run artifact to judge")
-    parser.add_argument("--min-ratio", type=float, default=0.5,
-                        help="fail below this smoke/anchor ratio "
-                             "(default: %(default)s)")
-    parser.add_argument("--metric", default="tuples_per_sec_batched",
-                        help="per-config JSON field to compare "
-                             "(default: %(default)s)")
-    args = parser.parse_args()
-
-    anchor = load_configs(args.anchor, args.metric)
-    smoke = load_configs(args.smoke, args.metric)
+def run_gate(anchor_path, smoke_path, metric, min_ratio):
+    """Runs one (anchor, smoke, metric) gate; returns the failure count."""
+    anchor = load_configs(anchor_path, metric)
+    smoke = load_configs(smoke_path, metric)
     shared = sorted(set(anchor) & set(smoke))
     mismatched = sorted(set(anchor) ^ set(smoke))
     if mismatched:
         # Renaming/adding/removing a bench config must come with a
         # regenerated anchor; skipping the stragglers would let exactly
         # the config-went-missing regressions through.
-        print(f"perf_gate: config sets differ ({', '.join(mismatched)}); "
-              f"regenerate the committed anchor with a full --json run",
-              file=sys.stderr)
+        print(f"perf_gate: config sets of {anchor_path} and {smoke_path} "
+              f"differ ({', '.join(mismatched)}); regenerate the committed "
+              f"anchor with a full --json run", file=sys.stderr)
         sys.exit(2)
 
     failures = 0
     width = max(len(name) for name in shared)
     for name in shared:
         ratio = smoke[name] / anchor[name]
-        verdict = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        verdict = "ok" if ratio >= min_ratio else "REGRESSION"
         if verdict != "ok":
             failures += 1
         print(f"perf_gate: {name:<{width}}  "
               f"anchor {format_rate(anchor[name])}  "
               f"smoke {format_rate(smoke[name])}  "
               f"ratio {ratio:5.2f}  {verdict}")
+    return failures, len(shared)
+
+
+def parse_gate_spec(spec):
+    """Splits ANCHOR:SMOKE[:METRIC] into its parts."""
+    parts = spec.split(":")
+    if len(parts) == 2:
+        return parts[0], parts[1], DEFAULT_METRIC
+    if len(parts) == 3:
+        return parts[0], parts[1], parts[2]
+    print(f"perf_gate: bad --gate spec {spec!r} "
+          f"(want ANCHOR:SMOKE[:METRIC])", file=sys.stderr)
+    sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="ANCHOR:SMOKE[:METRIC]",
+                        help="one (anchor, smoke, metric) comparison; "
+                             "repeatable")
+    parser.add_argument("--anchor", help="committed BENCH_*.json "
+                        "(single-gate form)")
+    parser.add_argument("--smoke", help="fresh smoke-run artifact to judge "
+                        "(single-gate form)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help="per-config JSON field of the single-gate form "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-ratio", type=float, default=0.5,
+                        help="fail below this smoke/anchor ratio, applied to "
+                             "every gate (default: %(default)s)")
+    args = parser.parse_args()
+
+    gates = [parse_gate_spec(spec) for spec in args.gate]
+    if args.anchor or args.smoke:
+        if not (args.anchor and args.smoke):
+            print("perf_gate: --anchor and --smoke go together",
+                  file=sys.stderr)
+            sys.exit(2)
+        gates.append((args.anchor, args.smoke, args.metric))
+    if not gates:
+        print("perf_gate: no gates given (use --gate or --anchor/--smoke)",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = 0
+    total = 0
+    for anchor_path, smoke_path, metric in gates:
+        gate_failures, gate_total = run_gate(anchor_path, smoke_path, metric,
+                                             args.min_ratio)
+        failures += gate_failures
+        total += gate_total
     if failures:
-        print(f"perf_gate: FAIL — {failures}/{len(shared)} configs below "
-              f"{args.min_ratio}x of the committed anchor", file=sys.stderr)
+        print(f"perf_gate: FAIL — {failures}/{total} configs below "
+              f"{args.min_ratio}x of their committed anchors",
+              file=sys.stderr)
         sys.exit(1)
-    print(f"perf_gate: PASS — {len(shared)} configs at >= "
-          f"{args.min_ratio}x of the committed anchor")
+    print(f"perf_gate: PASS — {total} configs across {len(gates)} gate(s) "
+          f"at >= {args.min_ratio}x of the committed anchors")
 
 
 if __name__ == "__main__":

@@ -3,22 +3,20 @@
 #include <algorithm>
 #include <limits>
 
+#include "exec/simd.h"
+
 /// \file hash_aggregate.cc
 /// Instrumented hash GROUP BY: binds group/payload columns, runs the
-/// optional predicate chain in its configured order over kSimBlockRows
-/// blocks (per-block load runs and branch runs for the PMU's batched
-/// reporting layer), and accumulates SUM/COUNT per group through the
-/// PMU-visible hash table.
+/// optional predicate chain in its configured order through the shared
+/// blocked-selection primitive (exec/operators.cc, SIMD-kernel-backed),
+/// and accumulates SUM/COUNT per group through the PMU-visible hash
+/// table, probing it with block-level SIMD hashing + home-slot prefetch.
 
 namespace nipo {
 
 namespace {
 
-struct BoundColumn {
-  const uint8_t* data = nullptr;
-  uint32_t width = 0;
-  DataType type = DataType::kInt32;
-};
+using BoundColumn = BoundColumnRef;
 
 Result<BoundColumn> Bind(const Table& table, const std::string& name) {
   NIPO_ASSIGN_OR_RETURN(const ColumnBase* column, table.GetColumn(name));
@@ -27,19 +25,6 @@ Result<BoundColumn> Bind(const Table& table, const std::string& name) {
   bound.width = static_cast<uint32_t>(column->value_width());
   bound.type = column->type();
   return bound;
-}
-
-double LoadAsDouble(const BoundColumn& column, size_t row) {
-  const uint8_t* addr = column.data + static_cast<uint64_t>(row) * column.width;
-  switch (column.type) {
-    case DataType::kInt32:
-      return static_cast<double>(*reinterpret_cast<const int32_t*>(addr));
-    case DataType::kInt64:
-      return static_cast<double>(*reinterpret_cast<const int64_t*>(addr));
-    case DataType::kDouble:
-      return *reinterpret_cast<const double*>(addr);
-  }
-  return 0.0;
 }
 
 int64_t LoadAsInt64(const BoundColumn& column, size_t row) {
@@ -96,63 +81,67 @@ Result<HashAggregateResult> ExecuteHashAggregate(
   pmu->EnsureBranchSites(spec.filters.size() + 1);
 
   // Blocked operator-at-a-time loop, mirroring PipelineExecutor: per
-  // block, each filter runs over all its still-active rows (stride-1 run
-  // or gather for the PMU), survivors feed one group-key gather, the
-  // per-row hash-table upkeep, and one gather per aggregate column.
+  // block, the filter chain runs through the shared blocked-selection
+  // primitive, survivors feed one group-key gather, a batched (SIMD
+  // block hashing + prefetch, per-row booked) group-table probe, and one
+  // gather per aggregate column.
   const size_t num_rows = spec.table->num_rows();
-  std::vector<uint32_t> sel, next_sel, state_idx;
-  std::vector<uint8_t> pass;
-  for (size_t block = 0; block < num_rows; block += kSimBlockRows) {
-    const size_t n = std::min(kSimBlockRows, num_rows - block);
+  SelectionScratch scratch;
+  std::vector<uint32_t> state_idx;
+  std::vector<int64_t> block_groups(kSimBlockRows);
+  std::vector<uint64_t> block_hashes(kSimBlockRows);
+  Status block_error = Status::OK();
+  ForEachSimBlock(0, num_rows, [&](size_t block, size_t n) {
+    if (!block_error.ok()) return;
     pmu->OnInstructions(n);  // loop bookkeeping
-    bool dense = true;
-    size_t active = n;
-    for (size_t f = 0; f < spec.filters.size() && active > 0; ++f) {
-      const BoundColumn& col = filter_cols[f];
-      const uint8_t* block_base =
-          col.data + static_cast<uint64_t>(block) * col.width;
-      if (dense) {
-        pmu->OnSequentialLoads(block_base, col.width, active);
-      } else {
-        pmu->OnGatherLoads(block_base, col.width, sel.data(), active);
-      }
-      pmu->OnInstructions(active);  // the compares
-      pass.resize(active);
-      next_sel.clear();
-      for (size_t j = 0; j < active; ++j) {
-        const uint32_t offset = dense ? static_cast<uint32_t>(j) : sel[j];
-        const bool ok =
-            EvaluateCompare(LoadAsDouble(col, block + offset),
-                            spec.filters[f].op, spec.filters[f].value);
-        pass[j] = ok;
-        if (ok) next_sel.push_back(offset);
-      }
-      pmu->OnPredicateBranches(f, pass.data(), active);
-      sel.swap(next_sel);
-      active = sel.size();
-      dense = false;
+    scratch.BeginBlock(n);
+    for (size_t f = 0; f < spec.filters.size() && scratch.active() > 0;
+         ++f) {
+      PredicateEvalArgs args;
+      args.pmu = pmu;
+      args.branch_site = f;
+      args.column = filter_cols[f];
+      args.block_begin = block;
+      args.op = spec.filters[f].op;
+      args.value = spec.filters[f].value;
+      // The aggregate's filter chain has always booked plain compares
+      // only (no extra_instructions), and its filters stay branching --
+      // the progressive optimizer drives forms on the pipeline executor.
+      args.extra_instructions = 0.0;
+      args.form = PredicateForm::kBranching;
+      EvalPredicateBlock(args, &scratch);
     }
-    if (dense) {
-      // No filters: every block row survives.
-      sel.resize(n);
-      for (size_t j = 0; j < n; ++j) sel[j] = static_cast<uint32_t>(j);
-      active = n;
-    }
+    // No filters: every block row survives (identity selection).
+    scratch.MaterializeDense();
+    const size_t active = scratch.active();
+    const uint32_t* sel = scratch.sel();
     result.passed_filter += active;
 
     if (active > 0) {
       pmu->OnGatherLoads(
           group_col.data + static_cast<uint64_t>(block) * group_col.width,
-          group_col.width, sel.data(), active);
+          group_col.width, sel, active);
       state_idx.resize(active);
       for (size_t j = 0; j < active; ++j) {
-        const int64_t group = LoadAsInt64(group_col, block + sel[j]);
+        block_groups[j] = LoadAsInt64(group_col, block + sel[j]);
+      }
+      simd::HashKeys(block_groups.data(), active, block_hashes.data());
+      for (size_t j = 0; j < active; ++j) {
+        groups.PrefetchSlot(block_hashes[j]);
+      }
+      for (size_t j = 0; j < active; ++j) {
+        const int64_t group = block_groups[j];
         int64_t state_index = 0;
-        if (!groups.Lookup(group, &state_index)) {
+        if (!groups.LookupPrehashed(group, block_hashes[j], &state_index)) {
           state_index = static_cast<int64_t>(counts.size());
           // A growing group table would rehash; with the small group
           // domains of the workloads here the initial size suffices.
-          NIPO_RETURN_NOT_OK(groups.Insert(group, state_index));
+          const Status st =
+              groups.InsertPrehashed(group, block_hashes[j], state_index);
+          if (!st.ok()) {
+            block_error = st;
+            return;
+          }
           group_keys.push_back(group);
           counts.push_back(0);
           for (auto& s : sums) s.push_back(0);
@@ -164,7 +153,7 @@ Result<HashAggregateResult> ExecuteHashAggregate(
         const BoundColumn& col = agg_cols[a];
         pmu->OnGatherLoads(
             col.data + static_cast<uint64_t>(block) * col.width, col.width,
-            sel.data(), active);
+            sel, active);
         pmu->OnInstructions(active);  // the adds
         for (size_t j = 0; j < active; ++j) {
           sums[a][state_idx[j]] += LoadAsInt64(col, block + sel[j]);
@@ -172,7 +161,8 @@ Result<HashAggregateResult> ExecuteHashAggregate(
       }
     }
     pmu->OnBranchRun(loop_site, /*taken=*/true, n);
-  }
+  });
+  NIPO_RETURN_NOT_OK(block_error);
 
   // Emit groups sorted by key (result formatting is not measured work).
   std::map<int64_t, size_t> key_to_state;

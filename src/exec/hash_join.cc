@@ -5,28 +5,38 @@
 #include <vector>
 
 #include "exec/operators.h"
+#include "exec/simd.h"
 
 /// \file hash_join.cc
 /// Instrumented hash equi-join: build-side insertion keyed on an
-/// arbitrary column, streaming probe with per-lookup PMU traffic, and
-/// type dispatch over the supported key column types.
+/// arbitrary column, batched probing (SIMD block hashing + home-slot
+/// prefetch, per-key booked PMU traffic), and type dispatch over the
+/// supported key column types.
 
 namespace nipo {
 
 namespace {
 
-Result<int64_t> KeyAt(const ColumnBase& column, size_t row) {
+/// Widens one block of an integer key column into the int64 buffer the
+/// batched hash/probe kernels consume (callers validate the column type).
+void ExtractKeys(const ColumnBase& column, size_t begin, size_t n,
+                 int64_t* out) {
   switch (column.type()) {
-    case DataType::kInt32:
-      return static_cast<int64_t>(
-          (*static_cast<const Column<int32_t>*>(&column))[row]);
-    case DataType::kInt64:
-      return (*static_cast<const Column<int64_t>*>(&column))[row];
+    case DataType::kInt32: {
+      const int32_t* base =
+          static_cast<const int32_t*>(column.data()) + begin;
+      for (size_t j = 0; j < n; ++j) out[j] = base[j];
+      return;
+    }
+    case DataType::kInt64: {
+      const int64_t* base =
+          static_cast<const int64_t*>(column.data()) + begin;
+      for (size_t j = 0; j < n; ++j) out[j] = base[j];
+      return;
+    }
     case DataType::kDouble:
-      return Status::TypeMismatch("join key column '" + column.name() +
-                                  "' must be integer");
+      return;  // rejected before the block loops
   }
-  return Status::Internal("unknown column type");
 }
 
 double ValueAt(const ColumnBase& column, size_t row) {
@@ -58,6 +68,10 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   }
   NIPO_ASSIGN_OR_RETURN(const ColumnBase* probe_key,
                         spec.probe->GetColumn(spec.probe_key));
+  if (build_key->type() == DataType::kDouble) {
+    return Status::TypeMismatch("join key column '" + build_key->name() +
+                                "' must be integer");
+  }
   if (probe_key->type() == DataType::kDouble) {
     return Status::TypeMismatch("join key column '" + probe_key->name() +
                                 "' must be integer");
@@ -73,33 +87,46 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   }
 
   // --- build phase: scan the key column blockwise (one stride-1 load run
-  // per block), insert row ids.
+  // per block), SIMD-hash each block, insert row ids through the
+  // prehashed path (booked identically to per-key Insert).
   InstrumentedHashTable table(spec.build->num_rows(), pmu);
   result.table_base = table.slots_base();
   const uint8_t* key_data =
       static_cast<const uint8_t*>(build_key->data());
   const uint32_t key_width = static_cast<uint32_t>(build_key->value_width());
   const size_t build_rows = spec.build->num_rows();
-  for (size_t block = 0; block < build_rows; block += kSimBlockRows) {
-    const size_t n = std::min(kSimBlockRows, build_rows - block);
+  std::vector<int64_t> block_keys(kSimBlockRows);
+  std::vector<uint64_t> block_hashes(kSimBlockRows);
+  Status build_error = Status::OK();
+  ForEachSimBlock(0, build_rows, [&](size_t block, size_t n) {
+    if (!build_error.ok()) return;
     pmu->OnSequentialLoads(key_data + static_cast<uint64_t>(block) * key_width,
                            key_width, n);
-    for (size_t row = block; row < block + n; ++row) {
-      NIPO_ASSIGN_OR_RETURN(const int64_t key, KeyAt(*build_key, row));
-      const Status st = table.Insert(key, static_cast<int64_t>(row));
+    ExtractKeys(*build_key, block, n, block_keys.data());
+    simd::HashKeys(block_keys.data(), n, block_hashes.data());
+    for (size_t j = 0; j < n; ++j) {
+      const int64_t key = block_keys[j];
+      const Status st = table.InsertPrehashed(
+          key, block_hashes[j], static_cast<int64_t>(block + j));
       if (st.code() == StatusCode::kAlreadyExists) {
-        return Status::InvalidArgument(
+        build_error = Status::InvalidArgument(
             "duplicate build key " + std::to_string(key) +
             ": ExecuteHashJoin implements key-FK joins");
+        return;
       }
-      NIPO_RETURN_NOT_OK(st);
+      if (!st.ok()) {
+        build_error = st;
+        return;
+      }
     }
-  }
+  });
+  NIPO_RETURN_NOT_OK(build_error);
   const HashTableStats build_stats = table.stats();
 
-  // --- probe phase: per block, one load run over the probe keys, the
-  // per-key table lookups, then one payload gather over the matches (in
-  // row order, so the double-summation order is block-size independent).
+  // --- probe phase: per block, one load run over the probe keys, one
+  // batched (SIMD-hashed, prefetched) probe whose booked events equal the
+  // per-key lookups, then one payload gather over the matches (in row
+  // order, so the double-summation order is block-size independent).
   const uint8_t* probe_data =
       static_cast<const uint8_t*>(probe_key->data());
   const uint32_t probe_width =
@@ -112,18 +139,20 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   const size_t probe_rows = spec.probe->num_rows();
   std::vector<uint32_t> match_rows;
   match_rows.reserve(std::min(probe_rows, kSimBlockRows));
-  for (size_t block = 0; block < probe_rows; block += kSimBlockRows) {
-    const size_t n = std::min(kSimBlockRows, probe_rows - block);
+  std::vector<int64_t> probe_values(kSimBlockRows);
+  std::vector<uint8_t> probe_hits(kSimBlockRows);
+  ForEachSimBlock(0, probe_rows, [&](size_t block, size_t n) {
     pmu->OnSequentialLoads(
         probe_data + static_cast<uint64_t>(block) * probe_width, probe_width,
         n);
+    ExtractKeys(*probe_key, block, n, block_keys.data());
+    table.BatchLookup(block_keys.data(), n, probe_values.data(),
+                      probe_hits.data());
     match_rows.clear();
-    for (size_t row = block; row < block + n; ++row) {
-      NIPO_ASSIGN_OR_RETURN(const int64_t key, KeyAt(*probe_key, row));
-      int64_t build_row = 0;
-      if (table.Lookup(key, &build_row)) {
+    for (size_t j = 0; j < n; ++j) {
+      if (probe_hits[j]) {
         ++result.matches;
-        match_rows.push_back(static_cast<uint32_t>(build_row));
+        match_rows.push_back(static_cast<uint32_t>(probe_values[j]));
       }
     }
     if (payload != nullptr && !match_rows.empty()) {
@@ -134,7 +163,7 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
         result.payload_sum += ValueAt(*payload, build_row);
       }
     }
-  }
+  });
   // Probe-phase window (build touches subtracted), consistent with how
   // PMU counters are windowed around the probe.
   result.average_probe_length =

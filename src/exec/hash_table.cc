@@ -1,5 +1,6 @@
 #include "exec/hash_table.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -81,6 +82,105 @@ bool InstrumentedHashTable::Lookup(int64_t key, int64_t* value) const {
   if (!slot.occupied) return false;
   if (value != nullptr) *value = slot.value;
   return true;
+}
+
+bool InstrumentedHashTable::LookupPrehashed(int64_t key, uint64_t hash,
+                                            int64_t* value) const {
+  ++operations_;
+  const size_t index = static_cast<size_t>(hash & mask_);
+  const size_t length = ChainLength(index, key);
+  ReportChain(index, length);
+  const Slot& slot = slots_[(index + length - 1) & mask_];
+  if (!slot.occupied) return false;
+  if (value != nullptr) *value = slot.value;
+  return true;
+}
+
+Status InstrumentedHashTable::InsertPrehashed(int64_t key, uint64_t hash,
+                                              int64_t value) {
+  if (size_ >= max_size_) {
+    return Status::CapacityExceeded("hash table past its load limit");
+  }
+  ++operations_;
+  const size_t index = static_cast<size_t>(hash & mask_);
+  const size_t length = ChainLength(index, key);
+  ReportChain(index, length);
+  Slot& slot = slots_[(index + length - 1) & mask_];
+  if (slot.occupied) {
+    return Status::AlreadyExists("duplicate key " + std::to_string(key));
+  }
+  slot.key = key;
+  slot.value = value;
+  slot.occupied = true;
+  ++size_;
+  return Status::OK();
+}
+
+void InstrumentedHashTable::BatchLookup(const int64_t* keys, size_t count,
+                                        int64_t* values,
+                                        uint8_t* hits) const {
+  uint64_t hashes[kProbeBatch];
+  for (size_t base = 0; base < count; base += kProbeBatch) {
+    const size_t n = std::min(kProbeBatch, count - base);
+    simd::HashKeys(keys + base, n, hashes);
+    for (size_t j = 0; j < n; ++j) PrefetchSlot(hashes[j]);
+    for (size_t j = 0; j < n; ++j) {
+      ++operations_;
+      const size_t index = static_cast<size_t>(hashes[j] & mask_);
+      const size_t length = ChainLength(index, keys[base + j]);
+      ReportChain(index, length);
+      const Slot& slot = slots_[(index + length - 1) & mask_];
+      const bool hit = slot.occupied;
+      if (hits != nullptr) hits[base + j] = static_cast<uint8_t>(hit);
+      if (hit && values != nullptr) values[base + j] = slot.value;
+    }
+  }
+}
+
+size_t InstrumentedHashTable::ProbeKernel(const int64_t* keys, size_t count,
+                                          int64_t* values, uint8_t* hits,
+                                          bool batched) const {
+  size_t hit_count = 0;
+  auto walk = [&](size_t i, size_t index) {
+    const int64_t key = keys[i];
+    while (slots_[index].occupied && slots_[index].key != key) {
+      index = (index + 1) & mask_;
+    }
+    const bool hit = slots_[index].occupied;
+    if (hits != nullptr) hits[i] = static_cast<uint8_t>(hit);
+    if (hit && values != nullptr) values[i] = slots_[index].value;
+    hit_count += hit;
+  };
+  if (batched) {
+    // Rolling-window prefetch: keys are SIMD-hashed a block at a time
+    // (with kPrefetchDistance of overlap into the next block), and the
+    // walk of key j runs kPrefetchDistance behind its slot prefetch --
+    // far enough for the line to arrive, close enough to stay within the
+    // host's outstanding-miss budget. Chunk-at-once prefetching (fill a
+    // batch, prefetch it, walk it) measures consistently worse: the
+    // first walks of each chunk start before their lines land.
+    constexpr size_t kBlock = 1024;
+    uint64_t hashes[kBlock + kPrefetchDistance];
+    for (size_t base = 0; base < count; base += kBlock) {
+      const size_t n = std::min(kBlock, count - base);
+      const size_t pre = std::min(n + kPrefetchDistance, count - base);
+      simd::HashKeys(keys + base, pre, hashes);
+      for (size_t j = 0; j < std::min(kPrefetchDistance, n); ++j) {
+        PrefetchSlot(hashes[j]);
+      }
+      for (size_t j = 0; j < n; ++j) {
+        if (j + kPrefetchDistance < pre) {
+          PrefetchSlot(hashes[j + kPrefetchDistance]);
+        }
+        walk(base + j, static_cast<size_t>(hashes[j] & mask_));
+      }
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      walk(i, IndexOf(keys[i]));
+    }
+  }
+  return hit_count;
 }
 
 Status InstrumentedHashTable::Accumulate(int64_t key, int64_t delta,

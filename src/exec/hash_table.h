@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/simd.h"
 #include "hw/pmu.h"
 
 /// \file hash_table.h
@@ -63,6 +64,55 @@ class InstrumentedHashTable {
   /// Looks up `key`; on hit stores the value and returns true.
   bool Lookup(int64_t key, int64_t* value) const;
 
+  /// \name Batched probing (DESIGN.md Section 8)
+  /// The batched entry points hash key blocks with the SIMD kernel
+  /// (simd::HashKeys) and prefetch the home slots before walking the
+  /// chains, hiding host-side cache misses behind the group. The *booked*
+  /// event stream is per-key and identical to the per-call API -- the
+  /// simulated machine sees the same logical probe sequence either way,
+  /// which is what the counter bit-equality gates assert.
+  /// @{
+
+  /// Per-chunk batch size of the batched probe paths: large enough that
+  /// the prefetches have time to land, small enough to stay in registers
+  /// and L1.
+  static constexpr size_t kProbeBatch = 64;
+
+  /// Prefetch distance of ProbeKernel's rolling window: the slot of key
+  /// j + kPrefetchDistance is prefetched just before key j is walked.
+  /// Tuned on out-of-cache tables (bench/simd_kernels.cc); 8 leaves
+  /// latency on the table, 32 overruns the outstanding-miss budget.
+  static constexpr size_t kPrefetchDistance = 16;
+
+  /// Prefetches the home slot of a (pre-mask) hash into the host caches.
+  /// Host-only: no simulated effect.
+  void PrefetchSlot(uint64_t hash) const {
+    __builtin_prefetch(&slots_[static_cast<size_t>(hash & mask_)]);
+  }
+
+  /// Lookup with a caller-supplied hash (simd::SplitMix64 of the key,
+  /// pre-mask). Books exactly like Lookup.
+  bool LookupPrehashed(int64_t key, uint64_t hash, int64_t* value) const;
+
+  /// Insert with a caller-supplied hash. Books exactly like Insert.
+  Status InsertPrehashed(int64_t key, uint64_t hash, int64_t value);
+
+  /// Probes `count` keys: SIMD-hashes and prefetches kProbeBatch-sized
+  /// chunks, then walks each chain in key order. `hits[i]` receives the
+  /// 0/1 outcome; `values[i]` is set on hit (both may be null). The
+  /// booked stream equals `count` Lookup calls in order.
+  void BatchLookup(const int64_t* keys, size_t count, int64_t* values,
+                   uint8_t* hits) const;
+
+  /// Benchmark-only raw probe: the same chain walks with *no* simulated
+  /// booking and no stats upkeep, so wall-clock measures the host kernel
+  /// alone. `batched` selects the hashed+prefetched group path versus the
+  /// dependent per-key scalar path. Returns the hit count.
+  size_t ProbeKernel(const int64_t* keys, size_t count, int64_t* values,
+                     uint8_t* hits, bool batched) const;
+
+  /// @}
+
   /// Adds `delta` to the value of `key`, inserting `initial + delta` if
   /// absent (the upsert used by hash aggregation). Fails only on
   /// capacity exhaustion.
@@ -97,12 +147,10 @@ class InstrumentedHashTable {
   };
 
   size_t IndexOf(int64_t key) const {
-    // splitmix64 finalizer as the hash.
-    uint64_t z = static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ull;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    z ^= z >> 31;
-    return static_cast<size_t>(z & mask_);
+    // splitmix64 finalizer as the hash -- the same function the SIMD
+    // batch kernel applies four keys at a time.
+    return static_cast<size_t>(simd::SplitMix64(static_cast<uint64_t>(key)) &
+                               mask_);
   }
 
   /// Walks the linear-probe chain starting at `index` without reporting:

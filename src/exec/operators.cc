@@ -1,0 +1,77 @@
+#include "exec/operators.h"
+
+#include "common/logging.h"
+#include "exec/pipeline.h"
+#include "exec/simd.h"
+
+/// \file operators.cc
+/// The shared blocked-selection primitive: one predicate evaluation over a
+/// block with the full PMU booking sequence (load run, per-tuple
+/// instructions of the simulated form, evaluation through the active SIMD
+/// kernel, branch events for the branching form), used by the pipeline
+/// executor and the hash aggregate's filter chain so the two cannot drift.
+
+namespace nipo {
+
+// The header defaults are documentation; the executors pass LoopCostModel
+// explicitly. Keep both in sync.
+static_assert(PredicateEvalArgs{}.compare_instructions ==
+              LoopCostModel::kCompareInstructions);
+static_assert(PredicateEvalArgs{}.branch_free_instructions ==
+              LoopCostModel::kBranchFreeInstructions);
+
+std::string_view PredicateFormToString(PredicateForm form) {
+  switch (form) {
+    case PredicateForm::kBranching:
+      return "branching";
+    case PredicateForm::kBranchFree:
+      return "branch-free";
+  }
+  return "?";
+}
+
+size_t EvalPredicateBlock(const PredicateEvalArgs& args,
+                          SelectionScratch* scratch) {
+  NIPO_CHECK(args.pmu != nullptr && scratch != nullptr);
+  Pmu* pmu = args.pmu;
+  const size_t active = scratch->active();
+  if (active == 0) return 0;
+  const uint8_t* block_base =
+      args.column.data +
+      static_cast<uint64_t>(args.block_begin) * args.column.width;
+  const uint32_t* sel = scratch->sel();
+  if (sel == nullptr) {
+    pmu->OnSequentialLoads(block_base, args.column.width, active);
+  } else {
+    pmu->OnGatherLoads(block_base, args.column.width, sel, active);
+  }
+  if (args.form == PredicateForm::kBranching) {
+    pmu->OnInstructions(static_cast<uint64_t>(args.compare_instructions) *
+                        active);
+  } else {
+    // Branch-free form: the compare-to-mask + compaction kernel costs more
+    // instructions per tuple and books no branch events at this site.
+    pmu->OnInstructions(static_cast<uint64_t>(args.branch_free_instructions) *
+                        active);
+  }
+  if (args.extra_instructions > 0) {
+    pmu->OnInstructions(static_cast<uint64_t>(args.extra_instructions) *
+                        active);
+  }
+  uint8_t* pass = scratch->pass();
+  uint32_t* next_sel = scratch->next_sel();
+  const size_t passed = simd::CompareSelect(
+      args.column.type, args.column.data, args.block_begin, args.op,
+      args.value, sel, sel, active, pass, next_sel);
+  if (args.post_eval_instructions > 0) {
+    pmu->OnInstructions(static_cast<uint64_t>(args.post_eval_instructions) *
+                        active);
+  }
+  if (args.form == PredicateForm::kBranching) {
+    pmu->OnPredicateBranches(args.branch_site, pass, active);
+  }
+  scratch->Commit(passed);
+  return passed;
+}
+
+}  // namespace nipo

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "hw/pmu.h"
 #include "storage/table.h"
 
 /// \file operators.h
@@ -102,6 +104,133 @@ struct OperatorSpec {
 /// of column touches), so it is a fixed compile-time property of the
 /// execution layer, not a tuning knob.
 inline constexpr size_t kSimBlockRows = 1024;
+
+/// \brief Simulated evaluation form of a predicate (DESIGN.md Section 8).
+///
+/// The form decides what the executor *books* on the simulated machine,
+/// not how the host computes -- the host always runs the branch-free
+/// SIMD/scalar kernel of exec/simd.h. A kBranching predicate is simulated
+/// as the paper's one-conditional-branch-per-evaluation loop (compare
+/// instructions + a branch event per tuple at the predicate's site); a
+/// kBranchFree predicate is simulated as a compare-to-mask +
+/// selection-vector compaction kernel: more instructions per tuple
+/// (LoopCostModel::kBranchFreeInstructions) and *no* branch events, hence
+/// no selectivity-dependent misprediction cost -- and no branch-counter
+/// observability at that site (docs/COUNTERS.md "Branch-free booking").
+enum class PredicateForm : int {
+  kBranching = 0,
+  kBranchFree = 1,
+};
+
+std::string_view PredicateFormToString(PredicateForm form);
+
+/// \brief A bound typed column: raw data pointer plus layout, the common
+/// currency of the executors' block loops.
+struct BoundColumnRef {
+  const uint8_t* data = nullptr;
+  uint32_t width = 0;
+  DataType type = DataType::kInt32;
+};
+
+/// \brief Runs `fn(block_begin, n)` over [begin, end) in kSimBlockRows
+/// blocks -- the outer skeleton shared by every blocked executor.
+template <typename Fn>
+void ForEachSimBlock(size_t begin, size_t end, Fn&& fn) {
+  for (size_t block = begin; block < end; block += kSimBlockRows) {
+    fn(block, std::min(kSimBlockRows, end - block));
+  }
+}
+
+/// \brief The blocked selection-vector scaffolding shared by
+/// PipelineExecutor, the hash aggregate's filter chain, and any future
+/// filtering operator: dense-first semantics (the first operator of a
+/// block runs without a materialized selection vector), a pass-flag
+/// buffer for branch booking, and double-buffered survivor compaction.
+///
+/// Per block: BeginBlock(n); then per operator obtain pass()/next_sel(),
+/// evaluate, and Commit(passed); MaterializeDense() converts a
+/// still-dense block into an identity selection when downstream work
+/// needs explicit row offsets. Buffers are reused across blocks
+/// (single-threaded by contract, like the executors that embed it).
+class SelectionScratch {
+ public:
+  void BeginBlock(size_t n) {
+    dense_ = true;
+    active_ = n;
+  }
+
+  size_t active() const { return active_; }
+  bool dense() const { return dense_; }
+
+  /// Block-relative offsets of still-active rows; nullptr while dense.
+  const uint32_t* sel() const { return dense_ ? nullptr : sel_.data(); }
+
+  /// Pass-flag buffer for the next evaluation (sized to active()).
+  uint8_t* pass() {
+    pass_.resize(active_);
+    return pass_.data();
+  }
+
+  /// Survivor buffer for the next evaluation (sized to active()).
+  uint32_t* next_sel() {
+    next_sel_.resize(active_);
+    return next_sel_.data();
+  }
+
+  /// Installs the `passed`-prefix of next_sel() as the new selection.
+  void Commit(size_t passed) {
+    next_sel_.resize(passed);
+    sel_.swap(next_sel_);
+    active_ = passed;
+    dense_ = false;
+  }
+
+  /// If still dense, materializes the identity selection 0..active-1 so
+  /// sel() becomes a real array (no-op otherwise).
+  void MaterializeDense() {
+    if (!dense_) return;
+    sel_.resize(active_);
+    for (size_t j = 0; j < active_; ++j) sel_[j] = static_cast<uint32_t>(j);
+    dense_ = false;
+  }
+
+ private:
+  std::vector<uint32_t> sel_;
+  std::vector<uint32_t> next_sel_;
+  std::vector<uint8_t> pass_;
+  bool dense_ = true;
+  size_t active_ = 0;
+};
+
+/// \brief One predicate evaluation over a block, PMU booking included.
+///
+/// The defaults of compare_instructions / branch_free_instructions mirror
+/// LoopCostModel (enforced by a static_assert in operators.cc); the
+/// executor layers pass their constants explicitly.
+struct PredicateEvalArgs {
+  Pmu* pmu = nullptr;
+  size_t branch_site = 0;         ///< PMU site of this predicate position
+  BoundColumnRef column;
+  size_t block_begin = 0;         ///< first row of the block
+  CompareOp op = CompareOp::kLe;
+  double value = 0.0;
+  double extra_instructions = 0.0;
+  PredicateForm form = PredicateForm::kBranching;
+  double compare_instructions = 1.0;      ///< LoopCostModel value
+  double branch_free_instructions = 4.0;  ///< LoopCostModel value
+  /// Booked after evaluation, before branch events (the enumerator-based
+  /// instrumentation of pipeline.cc); 0 to skip.
+  double post_eval_instructions = 0.0;
+};
+
+/// \brief Evaluates one predicate over the scratch's active rows:
+/// books the column load run (stride-1 while dense, gather otherwise),
+/// the per-tuple instructions of the chosen form, evaluates via the
+/// active SIMD kernel, books the predicate-site branch run (branching
+/// form only), and commits survivors. Returns the number of passing rows
+/// (== scratch->active() afterwards).
+size_t EvalPredicateBlock(const PredicateEvalArgs& args,
+                          SelectionScratch* scratch);
 
 /// \brief How the executor exposes per-operator statistics.
 enum class InstrumentationMode : int {

@@ -3,14 +3,54 @@
 #include <algorithm>
 #include <limits>
 
+#include "exec/simd.h"
+
 /// \file pipeline.cc
 /// The instrumented blocked operator-at-a-time scan loop: operator-chain
-/// evaluation in a configurable order with one conditional branch per
-/// operator evaluation, every load/compare/branch reported to the Pmu as
-/// per-block runs (coalesced by its batched reporting layer), plus
-/// operator spec helpers and order (re)wiring for the progressive driver.
+/// evaluation in a configurable order, every load/compare/branch reported
+/// to the Pmu as per-block runs (coalesced by its batched reporting
+/// layer). Predicate blocks run through the shared EvalPredicateBlock
+/// primitive (exec/operators.cc), whose host-side evaluation is the
+/// runtime-selected SIMD kernel of exec/simd.h; FK probes gather their
+/// dimension values through the same kernel layer.
 
 namespace nipo {
+
+namespace {
+
+Status CheckColumn(const Table& table, const std::string& name,
+                   const ColumnBase** out) {
+  auto col = table.GetColumn(name);
+  if (!col.ok()) return col.status();
+  *out = col.ValueOrDie();
+  return Status::OK();
+}
+
+template <typename T>
+void ProductLoop(const uint8_t* data, size_t base_row, const uint32_t* sel,
+                 size_t active, double* prod) {
+  const T* base = reinterpret_cast<const T*>(data) + base_row;
+  for (size_t j = 0; j < active; ++j) {
+    prod[j] *= static_cast<double>(base[sel[j]]);
+  }
+}
+
+void ProductDispatch(DataType type, const uint8_t* data, size_t base_row,
+                     const uint32_t* sel, size_t active, double* prod) {
+  switch (type) {
+    case DataType::kInt32:
+      ProductLoop<int32_t>(data, base_row, sel, active, prod);
+      return;
+    case DataType::kInt64:
+      ProductLoop<int64_t>(data, base_row, sel, active, prod);
+      return;
+    case DataType::kDouble:
+      ProductLoop<double>(data, base_row, sel, active, prod);
+      return;
+  }
+}
+
+}  // namespace
 
 std::string_view CompareOpToString(CompareOp op) {
   switch (op) {
@@ -47,121 +87,6 @@ std::string OperatorSpec::ToString() const {
   }
   return out;
 }
-
-namespace {
-
-Status CheckColumn(const Table& table, const std::string& name,
-                   const ColumnBase** out) {
-  auto col = table.GetColumn(name);
-  if (!col.ok()) return col.status();
-  *out = col.ValueOrDie();
-  return Status::OK();
-}
-
-// ---------------------------------------------------------------------------
-// Specialized evaluation loops. One instantiation per (column type,
-// comparator) keeps the per-element work at a load, a compare, and a
-// branch-free selection append — the host-side analogue of the compiled
-// primitives the paper's engines dispatch to. Semantically each element
-// still computes EvaluateCompare(double(value), op, constant).
-// ---------------------------------------------------------------------------
-
-/// Evaluates `cmp(base[index], value)` for `active` elements and appends
-/// passing ids to `out_sel` (branch-free). The element index is
-/// `gather[j]` if `gather` is non-null, else `j`; the id recorded for a
-/// passing element is `ids[j]` if `ids` is non-null, else `j`.
-template <typename T, typename Cmp>
-size_t EvalLoop(const T* base, const uint32_t* gather, const uint32_t* ids,
-                size_t active, double value, Cmp cmp, uint8_t* pass,
-                uint32_t* out_sel) {
-  size_t count = 0;
-  for (size_t j = 0; j < active; ++j) {
-    const uint32_t index = gather ? gather[j] : static_cast<uint32_t>(j);
-    const bool p = cmp(static_cast<double>(base[index]), value);
-    pass[j] = p;
-    out_sel[count] = ids ? ids[j] : static_cast<uint32_t>(j);
-    count += p;
-  }
-  return count;
-}
-
-template <typename T>
-size_t EvalColumn(const uint8_t* data, size_t base_row, CompareOp op,
-                  double value, const uint32_t* gather, const uint32_t* ids,
-                  size_t active, uint8_t* pass, uint32_t* out_sel) {
-  const T* base = reinterpret_cast<const T*>(data) + base_row;
-  switch (op) {
-    case CompareOp::kLt:
-      return EvalLoop(base, gather, ids, active, value,
-                      [](double a, double b) { return a < b; }, pass,
-                      out_sel);
-    case CompareOp::kLe:
-      return EvalLoop(base, gather, ids, active, value,
-                      [](double a, double b) { return a <= b; }, pass,
-                      out_sel);
-    case CompareOp::kGt:
-      return EvalLoop(base, gather, ids, active, value,
-                      [](double a, double b) { return a > b; }, pass,
-                      out_sel);
-    case CompareOp::kGe:
-      return EvalLoop(base, gather, ids, active, value,
-                      [](double a, double b) { return a >= b; }, pass,
-                      out_sel);
-    case CompareOp::kEq:
-      return EvalLoop(base, gather, ids, active, value,
-                      [](double a, double b) { return a == b; }, pass,
-                      out_sel);
-    case CompareOp::kNe:
-      return EvalLoop(base, gather, ids, active, value,
-                      [](double a, double b) { return a != b; }, pass,
-                      out_sel);
-  }
-  return 0;
-}
-
-size_t EvalDispatch(DataType type, const uint8_t* data, size_t base_row,
-                    CompareOp op, double value, const uint32_t* gather,
-                    const uint32_t* ids, size_t active, uint8_t* pass,
-                    uint32_t* out_sel) {
-  switch (type) {
-    case DataType::kInt32:
-      return EvalColumn<int32_t>(data, base_row, op, value, gather, ids,
-                                 active, pass, out_sel);
-    case DataType::kInt64:
-      return EvalColumn<int64_t>(data, base_row, op, value, gather, ids,
-                                 active, pass, out_sel);
-    case DataType::kDouble:
-      return EvalColumn<double>(data, base_row, op, value, gather, ids,
-                                active, pass, out_sel);
-  }
-  return 0;
-}
-
-template <typename T>
-void ProductLoop(const uint8_t* data, size_t base_row, const uint32_t* sel,
-                 size_t active, double* prod) {
-  const T* base = reinterpret_cast<const T*>(data) + base_row;
-  for (size_t j = 0; j < active; ++j) {
-    prod[j] *= static_cast<double>(base[sel[j]]);
-  }
-}
-
-void ProductDispatch(DataType type, const uint8_t* data, size_t base_row,
-                     const uint32_t* sel, size_t active, double* prod) {
-  switch (type) {
-    case DataType::kInt32:
-      ProductLoop<int32_t>(data, base_row, sel, active, prod);
-      return;
-    case DataType::kInt64:
-      ProductLoop<int64_t>(data, base_row, sel, active, prod);
-      return;
-    case DataType::kDouble:
-      ProductLoop<double>(data, base_row, sel, active, prod);
-      return;
-  }
-}
-
-}  // namespace
 
 Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Compile(
     const Table& table, std::vector<OperatorSpec> ops,
@@ -215,9 +140,11 @@ Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Compile(
       c.dim_width = static_cast<uint32_t>(dim->value_width());
       c.dim_type = dim->type();
       c.dim_rows = dim->size();
-      if (c.dim_rows > std::numeric_limits<uint32_t>::max()) {
+      // 2^31 (not 2^32): AVX2 gathers sign-extend their 32-bit indices,
+      // so probe keys must stay in the non-negative int32 range.
+      if (c.dim_rows > (uint64_t{1} << 31)) {
         return Status::InvalidArgument(
-            "dimension table exceeds the 2^32-row probe-key range");
+            "dimension table exceeds the 2^31-row probe-key range");
       }
     }
     exec->all_ops_.push_back(c);
@@ -263,9 +190,9 @@ VectorResult PipelineExecutor::ExecuteRange(size_t begin, size_t end) {
   NIPO_CHECK(begin <= end && end <= num_rows_);
   VectorResult result;
   result.input_tuples = end - begin;
-  for (size_t block = begin; block < end; block += kSimBlockRows) {
-    ExecuteBlock(block, std::min(kSimBlockRows, end - block), &result);
-  }
+  ForEachSimBlock(begin, end, [&](size_t block, size_t n) {
+    ExecuteBlock(block, n, &result);
+  });
   return result;
 }
 
@@ -276,37 +203,44 @@ void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
   pmu_->OnInstructions(
       static_cast<uint64_t>(LoopCostModel::kLoopInstructions) * n);
 
-  // sel_ holds the block-relative offsets of still-active rows; the first
-  // operator runs dense over the whole block without materializing it.
-  bool dense = true;
-  size_t active = n;
-  for (size_t pos = 0; pos < num_ops && active > 0; ++pos) {
+  // The scratch holds block-relative offsets of still-active rows; the
+  // first operator runs dense over the whole block without materializing
+  // a selection vector.
+  scratch_.BeginBlock(n);
+  for (size_t pos = 0; pos < num_ops && scratch_.active() > 0; ++pos) {
     const CompiledOp& op = compiled_[pos];
-    const uint8_t* block_base =
-        op.data + static_cast<uint64_t>(block_begin) * op.width;
-    if (dense) {
-      pmu_->OnSequentialLoads(block_base, op.width, active);
-    } else {
-      pmu_->OnGatherLoads(block_base, op.width, sel_.data(), active);
-    }
-    pass_.resize(active);
-    next_sel_.resize(active);
-    size_t passed = 0;
     if (op.kind == OperatorSpec::Kind::kPredicate) {
-      pmu_->OnInstructions(
-          static_cast<uint64_t>(LoopCostModel::kCompareInstructions) *
-          active);
-      if (op.extra_instructions > 0) {
-        pmu_->OnInstructions(static_cast<uint64_t>(op.extra_instructions) *
-                             active);
-      }
-      passed = EvalDispatch(op.type, op.data, block_begin, op.op, op.value,
-                            dense ? nullptr : sel_.data(),
-                            dense ? nullptr : sel_.data(), active,
-                            pass_.data(), next_sel_.data());
+      PredicateEvalArgs args;
+      args.pmu = pmu_;
+      args.branch_site = pos;
+      args.column = {op.data, op.width, op.type};
+      args.block_begin = block_begin;
+      args.op = op.op;
+      args.value = op.value;
+      args.extra_instructions = op.extra_instructions;
+      args.form = op.form;
+      args.compare_instructions = LoopCostModel::kCompareInstructions;
+      args.branch_free_instructions = LoopCostModel::kBranchFreeInstructions;
+      // Invasive instrumentation: increment an explicit pass counter
+      // after each evaluation (Section 5.7's enumerator-based approach).
+      args.post_eval_instructions =
+          enumerator ? LoopCostModel::kEnumeratorInstructions : 0.0;
+      const size_t passed = EvalPredicateBlock(args, &scratch_);
+      if (enumerator) enum_pass_[pos] += passed;
     } else {
-      // FK probe: the key gather above feeds a dimension-side gather. FK
-      // columns are validated int32 at Compile time.
+      // FK probe: the key gather feeds a dimension-side gather evaluated
+      // through the same SIMD kernel. FK columns are validated int32 at
+      // Compile time; probes are always branching (the qualify branch is
+      // inherent to the probe loop).
+      const size_t active = scratch_.active();
+      const uint32_t* sel = scratch_.sel();
+      const uint8_t* block_base =
+          op.data + static_cast<uint64_t>(block_begin) * op.width;
+      if (sel == nullptr) {
+        pmu_->OnSequentialLoads(block_base, op.width, active);
+      } else {
+        pmu_->OnGatherLoads(block_base, op.width, sel, active);
+      }
       pmu_->OnInstructions(
           static_cast<uint64_t>(LoopCostModel::kProbeAddressInstructions) *
           active);
@@ -314,7 +248,7 @@ void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
       const int32_t* fk =
           reinterpret_cast<const int32_t*>(op.data) + block_begin;
       for (size_t j = 0; j < active; ++j) {
-        const uint32_t offset = dense ? static_cast<uint32_t>(j) : sel_[j];
+        const uint32_t offset = sel ? sel[j] : static_cast<uint32_t>(j);
         const uint64_t key =
             static_cast<uint64_t>(static_cast<int64_t>(fk[offset]));
         NIPO_CHECK(key < op.dim_rows);
@@ -324,38 +258,36 @@ void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
       pmu_->OnInstructions(
           static_cast<uint64_t>(LoopCostModel::kCompareInstructions) *
           active);
-      passed = EvalDispatch(op.dim_type, op.dim_data, /*base_row=*/0, op.op,
-                            op.value, keys_.data(),
-                            dense ? nullptr : sel_.data(), active,
-                            pass_.data(), next_sel_.data());
+      uint8_t* pass = scratch_.pass();
+      uint32_t* next_sel = scratch_.next_sel();
+      const size_t passed = simd::CompareSelect(
+          op.dim_type, op.dim_data, /*base_row=*/0, op.op, op.value,
+          keys_.data(), sel, active, pass, next_sel);
+      if (enumerator) {
+        pmu_->OnInstructions(
+            static_cast<uint64_t>(LoopCostModel::kEnumeratorInstructions) *
+            active);
+        enum_pass_[pos] += passed;
+      }
+      // Probe qualify branch per evaluated row, NOT taken when the tuple
+      // qualifies, in row order as a tuple-at-a-time loop would emit it.
+      pmu_->OnPredicateBranches(pos, pass, active);
+      scratch_.Commit(passed);
     }
-    next_sel_.resize(passed);
-    if (enumerator) {
-      // Invasive instrumentation: increment an explicit pass counter
-      // after each evaluation (Section 5.7's enumerator-based approach).
-      pmu_->OnInstructions(
-          static_cast<uint64_t>(LoopCostModel::kEnumeratorInstructions) *
-          active);
-      enum_pass_[pos] += next_sel_.size();
-    }
-    // Predicate branch per evaluated row, NOT taken when the tuple
-    // qualifies. Outcomes are in row order, as a tuple-at-a-time loop
-    // would emit them at this site.
-    pmu_->OnPredicateBranches(pos, pass_.data(), active);
-    sel_.swap(next_sel_);
-    active = sel_.size();
-    dense = false;
   }
 
+  const size_t active = scratch_.active();
   result->qualifying_tuples += active;
   if (active > 0 && !payloads_.empty()) {
+    scratch_.MaterializeDense();
+    const uint32_t* sel = scratch_.sel();
     prod_.assign(active, 1.0);
     for (const CompiledPayload& payload : payloads_) {
       pmu_->OnGatherLoads(
           payload.data + static_cast<uint64_t>(block_begin) * payload.width,
-          payload.width, sel_.data(), active);
-      ProductDispatch(payload.type, payload.data, block_begin, sel_.data(),
-                      active, prod_.data());
+          payload.width, sel, active);
+      ProductDispatch(payload.type, payload.data, block_begin, sel, active,
+                      prod_.data());
     }
     pmu_->OnInstructions(
         static_cast<uint64_t>(LoopCostModel::kAggregateInstructions) *
@@ -385,6 +317,37 @@ Status PipelineExecutor::Reorder(const std::vector<size_t>& order) {
   // Positions changed meaning; per-position enumerator counts restart.
   std::fill(enum_pass_.begin(), enum_pass_.end(), 0);
   return Status::OK();
+}
+
+Status PipelineExecutor::SetForms(const std::vector<PredicateForm>& forms) {
+  if (forms.size() != all_ops_.size()) {
+    return Status::InvalidArgument("forms size mismatch");
+  }
+  for (size_t i = 0; i < forms.size(); ++i) {
+    if (all_ops_[i].kind == OperatorSpec::Kind::kFkProbe &&
+        forms[i] == PredicateForm::kBranchFree) {
+      return Status::InvalidArgument(
+          "FK probes have no branch-free form (operator " +
+          std::to_string(i) + ")");
+    }
+  }
+  for (size_t i = 0; i < forms.size(); ++i) all_ops_[i].form = forms[i];
+  for (CompiledOp& op : compiled_) {
+    op.form = all_ops_[op.original_index].form;
+  }
+  return Status::OK();
+}
+
+std::vector<PredicateForm> PipelineExecutor::forms() const {
+  std::vector<PredicateForm> out;
+  out.reserve(all_ops_.size());
+  for (const CompiledOp& op : all_ops_) out.push_back(op.form);
+  return out;
+}
+
+PredicateForm PipelineExecutor::FormAt(size_t pos) const {
+  NIPO_CHECK(pos < compiled_.size());
+  return compiled_[pos].form;
 }
 
 const OperatorSpec& PipelineExecutor::OperatorAt(size_t pos) const {

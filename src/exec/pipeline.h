@@ -68,6 +68,19 @@ class PipelineExecutor {
   /// Current evaluation order as original operator indices.
   const std::vector<size_t>& current_order() const { return order_; }
 
+  /// Sets the simulated evaluation form per operator, indexed by
+  /// *original* operator index (forms survive Reorder, like the specs).
+  /// FK probes only support kBranching (their qualify branch is inherent
+  /// to the probe loop); InvalidArgument otherwise. The progressive
+  /// optimizer under CostPricing::kSimdAware drives this.
+  Status SetForms(const std::vector<PredicateForm>& forms);
+
+  /// Current forms, indexed by original operator index.
+  std::vector<PredicateForm> forms() const;
+
+  /// The form of the operator currently evaluated at position `pos`.
+  PredicateForm FormAt(size_t pos) const;
+
   size_t num_operators() const { return compiled_.size(); }
   size_t num_rows() const { return num_rows_; }
 
@@ -93,6 +106,7 @@ class PipelineExecutor {
     CompareOp op = CompareOp::kLe;
     double value = 0.0;
     double extra_instructions = 0.0;
+    PredicateForm form = PredicateForm::kBranching;
     // FK probe: dimension-side column.
     const uint8_t* dim_data = nullptr;
     uint32_t dim_width = 0;
@@ -129,12 +143,11 @@ class PipelineExecutor {
   // Branch sites: position i -> site i, loop back-edge -> site
   // num_operators().
   size_t loop_site_ = 0;
-  // Per-block scratch (block-relative row offsets / probe keys / payload
-  // products), reused across blocks. An executor is single-threaded by
-  // contract; the parallel driver builds one executor per worker.
-  std::vector<uint32_t> sel_;
-  std::vector<uint32_t> next_sel_;
-  std::vector<uint8_t> pass_;
+  // Per-block scratch (selection-vector scaffolding / probe keys /
+  // payload products), reused across blocks. An executor is
+  // single-threaded by contract; the parallel driver builds one executor
+  // per worker.
+  SelectionScratch scratch_;
   std::vector<uint32_t> keys_;
   std::vector<double> prod_;
 };
@@ -144,6 +157,11 @@ class PipelineExecutor {
 struct LoopCostModel {
   static constexpr double kLoopInstructions = 1.0;   ///< i++ / bounds calc
   static constexpr double kCompareInstructions = 1.0;
+  /// Per-tuple instructions of the branch-free (compare-to-mask +
+  /// selection compaction) predicate form: load-compare plus mask
+  /// extraction, conditional-move append and count update replace the
+  /// single compare+branch of the branching form (DESIGN.md Section 8).
+  static constexpr double kBranchFreeInstructions = 4.0;
   static constexpr double kProbeAddressInstructions = 1.0;
   static constexpr double kAggregateInstructions = 2.0;  ///< mul + add
   /// Enumerator-based instrumentation: increment + store of the explicit

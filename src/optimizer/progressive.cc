@@ -38,6 +38,11 @@ ScanShape ShapeForOrder(const PipelineExecutor& exec, double num_tuples) {
     // purposes; its dimension-side cache traffic is handled separately.
     (void)op;
     shape.predicate_widths.push_back(4);
+    // Predicates currently running branch-free book no branch events; the
+    // counter prediction must mirror that or the estimator would chase
+    // branches the executor never produces.
+    shape.branch_free.push_back(exec.FormAt(pos) ==
+                                PredicateForm::kBranchFree);
   }
   // Payload widths are not tracked per-column by the executor's public
   // API; Q6-style payloads are 8 + 4 bytes. The estimator tolerates this
@@ -75,10 +80,18 @@ Result<SelectivityEstimate> EstimateOrderSelectivities(
 
 std::vector<size_t> RankOrderOperators(
     const PipelineExecutor& exec, const ProgressiveConfig& config,
-    const VectorSample& sample, const std::vector<double>& selectivities) {
+    const VectorSample& sample, const std::vector<double>& selectivities,
+    std::vector<PredicateForm>* forms_out) {
   const size_t n = exec.num_operators();
   NIPO_CHECK(selectivities.size() == n);
   const HwConfig& hw = exec.pmu()->config();
+  // Cycle price of a plain, perfectly predicted branching predicate: the
+  // unit the probe term is expressed in, so kBranchCycles/kSimdAware keep
+  // the probe-vs-plain-predicate ratios of the unit rule.
+  const double unit_cycles =
+      LoopCostModel::kCompareInstructions *
+          hw.cycle_model.cycles_per_instruction +
+      hw.cycle_model.branch_cycles;
 
   // Attribute sampled L3 misses to probes for cost weighting. With the
   // (common) single-probe pipelines of the evaluation this is exact
@@ -101,12 +114,31 @@ std::vector<size_t> RankOrderOperators(
       0.0, static_cast<double>(sample.counters.l3_misses) - scan_accesses);
 
   std::vector<double> cost(n, 1.0);
+  std::vector<PredicateForm> form_at(n, PredicateForm::kBranching);
   double reach = 1.0;  // fraction of tuples reaching this position
   for (size_t pos = 0; pos < n; ++pos) {
     const OperatorSpec& op = exec.OperatorAt(pos);
     if (op.kind == OperatorSpec::Kind::kPredicate) {
-      cost[pos] = 1.0 + op.predicate.extra_instructions /
-                            LoopCostModel::kCompareInstructions / 3.0;
+      if (config.pricing == CostPricing::kUnit) {
+        cost[pos] = 1.0 + op.predicate.extra_instructions /
+                              LoopCostModel::kCompareInstructions / 3.0;
+      } else {
+        const PredicateFormCosts prices = PricePredicateForms(
+            hw.cycle_model, hw.predictor,
+            std::clamp(selectivities[pos], 0.0, 1.0),
+            LoopCostModel::kCompareInstructions,
+            LoopCostModel::kBranchFreeInstructions,
+            op.predicate.extra_instructions);
+        if (config.pricing == CostPricing::kSimdAware &&
+            prices.branch_free_cheaper()) {
+          cost[pos] = prices.branch_free;
+          form_at[pos] = PredicateForm::kBranchFree;
+        } else {
+          // Ties stay branching: the branching form feeds the branch
+          // counters the estimator learns from.
+          cost[pos] = prices.branching;
+        }
+      }
     } else {
       // Probe cost: base plus a miss-informed component (Section 5.5-5.6).
       ProbeObservation obs;
@@ -120,6 +152,7 @@ std::vector<size_t> RankOrderOperators(
       const SortednessVerdict verdict =
           JudgeSortedness(hw.l3, obs, config.co_cluster_threshold);
       cost[pos] = config.probe_base_cost + 20.0 * verdict.score;
+      if (config.pricing != CostPricing::kUnit) cost[pos] *= unit_cycles;
     }
     reach *= std::clamp(selectivities[pos], 0.0, 1.0);
   }
@@ -141,6 +174,12 @@ std::vector<size_t> RankOrderOperators(
   std::vector<size_t> proposed;
   proposed.reserve(n);
   for (size_t pos : positions) proposed.push_back(current[pos]);
+  if (forms_out != nullptr) {
+    forms_out->assign(n, PredicateForm::kBranching);
+    for (size_t pos = 0; pos < n; ++pos) {
+      (*forms_out)[current[pos]] = form_at[pos];
+    }
+  }
   return proposed;
 }
 
@@ -162,8 +201,11 @@ void ProgressiveOptimizer::Optimize(const VectorSample& sample) {
   }
   report_.last_estimate = estimate.ValueOrDie().selectivities;
 
+  const bool simd_aware = config_.pricing == CostPricing::kSimdAware;
+  std::vector<PredicateForm> proposed_forms;
   std::vector<size_t> proposed = RankOrderOperators(
-      *executor_, config_, sample, estimate.ValueOrDie().selectivities);
+      *executor_, config_, sample, estimate.ValueOrDie().selectivities,
+      simd_aware ? &proposed_forms : nullptr);
   const bool explore =
       config_.explore_period > 0 &&
       optimization_count_ % config_.explore_period == 0 && proposed.size() > 1;
@@ -172,24 +214,34 @@ void ProgressiveOptimizer::Optimize(const VectorSample& sample) {
     // to look at data the current order never touches.
     std::swap(proposed[0], proposed[1]);
   }
-  if (proposed == executor_->current_order()) {
+  const std::vector<PredicateForm> current_forms = executor_->forms();
+  const bool order_changed = proposed != executor_->current_order();
+  const bool forms_changed = simd_aware && proposed_forms != current_forms;
+  if (!order_changed && !forms_changed) {
     return;
   }
   if (hysteresis_ttl_ > 0) {
     --hysteresis_ttl_;
-    if (proposed == recently_reverted_) {
-      return;  // hysteresis: validation just rejected this order
+    const bool same_as_reverted =
+        proposed == recently_reverted_ &&
+        (!simd_aware || proposed_forms == recently_reverted_forms_);
+    if (same_as_reverted) {
+      return;  // hysteresis: validation just rejected this configuration
     }
   }
   PendingValidation pending;
   pending.old_order = executor_->current_order();
+  pending.old_forms = current_forms;
   pending.old_cycles_per_tuple = last_cycles_per_tuple_;
   pending.exploration = explore;
-  NIPO_CHECK(executor_->Reorder(proposed).ok());
+  if (order_changed) NIPO_CHECK(executor_->Reorder(proposed).ok());
+  if (forms_changed) NIPO_CHECK(executor_->SetForms(proposed_forms).ok());
   PeoChange change;
   change.vector_index = sample.vector_index;
   change.old_order = pending.old_order;
   change.new_order = proposed;
+  change.old_forms = current_forms;
+  change.new_forms = forms_changed ? proposed_forms : current_forms;
   change.exploration = explore;
   report_.changes.push_back(change);
   if (config_.validate_and_revert) {
@@ -209,8 +261,12 @@ void ProgressiveOptimizer::HandleVector(const VectorSample& sample) {
         cycles_per_tuple >
             pending_->old_cycles_per_tuple * config_.revert_threshold) {
       recently_reverted_ = executor_->current_order();
+      recently_reverted_forms_ = executor_->forms();
       hysteresis_ttl_ = 1;  // skip this order for one optimization cycle
       NIPO_CHECK(executor_->Reorder(pending_->old_order).ok());
+      if (!pending_->old_forms.empty()) {
+        NIPO_CHECK(executor_->SetForms(pending_->old_forms).ok());
+      }
       report_.changes.back().reverted = true;
     } else {
       hysteresis_ttl_ = 0;  // a change survived; reopen the space
@@ -228,6 +284,7 @@ void ProgressiveOptimizer::Begin() {
   last_cycles_per_tuple_ = 0;
   optimization_count_ = 0;
   recently_reverted_.clear();
+  recently_reverted_forms_.clear();
   hysteresis_ttl_ = 0;
 }
 
@@ -249,6 +306,12 @@ ParallelProgressiveCoordinator::ParallelProgressiveCoordinator(
     : control_(control), config_(config) {
   NIPO_CHECK(control_ != nullptr);
   NIPO_CHECK(config_.reopt_interval > 0);
+  if (config_.pricing == CostPricing::kSimdAware) {
+    // Form switches are not broadcast to workers yet (the morsel protocol
+    // carries orders only; see ROADMAP.md): keep cycle-accurate pricing
+    // but leave every predicate in its branching form.
+    config_.pricing = CostPricing::kBranchCycles;
+  }
 }
 
 std::optional<std::vector<size_t>> ParallelProgressiveCoordinator::OnMorsel(

@@ -35,6 +35,23 @@
 
 namespace nipo {
 
+/// \brief How RankOrderOperators prices an operator when ranking
+/// (DESIGN.md Section 8, "SIMD-aware pricing").
+enum class CostPricing : int {
+  /// The original unit-cost rule: plain predicates cost 1, expensive
+  /// predicates add their extra instructions, probes their miss-informed
+  /// term. Exactly the pre-SIMD behaviour.
+  kUnit = 0,
+  /// Predicates priced in simulated cycles of their *branching* form
+  /// (compare + branch + Markov misprediction penalty); probes keep the
+  /// unit-rule term, converted to the same cycle scale.
+  kBranchCycles = 1,
+  /// min(branching, branch-free) cycles per predicate; the optimizer also
+  /// switches each predicate to its cheaper form (PipelineExecutor::
+  /// SetForms), so low-selectivity predicates run branch-free.
+  kSimdAware = 2,
+};
+
 /// \brief Driver configuration.
 struct ProgressiveConfig {
   size_t vector_size = 65'536;
@@ -57,13 +74,23 @@ struct ProgressiveConfig {
   /// Every k-th optimization additionally explores a perturbed order to
   /// surface correlation effects (Section 4.5); 0 disables exploration.
   size_t explore_period = 0;
+  /// Operator pricing rule (kUnit reproduces the pre-SIMD behaviour).
+  /// The parallel coordinator degrades kSimdAware to kBranchCycles: form
+  /// switches are not broadcast to workers yet (see ROADMAP.md).
+  CostPricing pricing = CostPricing::kUnit;
 };
 
-/// \brief One evaluation-order change performed during execution.
+/// \brief One evaluation-order (and/or predicate-form) change performed
+/// during execution.
 struct PeoChange {
   size_t vector_index = 0;
   std::vector<size_t> old_order;
   std::vector<size_t> new_order;
+  /// Predicate forms by original operator index before/after the change
+  /// (equal to each other unless pricing is kSimdAware; a change may be
+  /// forms-only, with old_order == new_order).
+  std::vector<PredicateForm> old_forms;
+  std::vector<PredicateForm> new_forms;
   bool reverted = false;      ///< validation rolled it back
   bool exploration = false;   ///< came from the correlation explorer
 };
@@ -96,11 +123,17 @@ Result<SelectivityEstimate> EstimateOrderSelectivities(
 /// \brief Ranks the operators of `exec`'s current order by cost-weighted
 /// selectivity (ascending (s-1)/c; for unit costs this is the paper's
 /// ascending-selectivity PEO rule; probe cost is informed by the Section
-/// 5.5-5.6 sortedness detector on the sampled L3 misses). Returns the
-/// proposed order in original operator indices.
+/// 5.5-5.6 sortedness detector on the sampled L3 misses). Under
+/// kBranchCycles / kSimdAware pricing, predicate costs come from
+/// PricePredicateForms on the simulated machine's CycleModel. Returns the
+/// proposed order in original operator indices; when `forms_out` is
+/// non-null it receives the per-operator form choice *by original
+/// operator index* (cheapest form under kSimdAware, branching otherwise),
+/// ready for PipelineExecutor::SetForms.
 std::vector<size_t> RankOrderOperators(
     const PipelineExecutor& exec, const ProgressiveConfig& config,
-    const VectorSample& sample, const std::vector<double>& selectivities);
+    const VectorSample& sample, const std::vector<double>& selectivities,
+    std::vector<PredicateForm>* forms_out = nullptr);
 
 /// \brief Runs a pipeline to completion under progressive optimization.
 class ProgressiveOptimizer {
@@ -133,6 +166,7 @@ class ProgressiveOptimizer {
  private:
   struct PendingValidation {
     std::vector<size_t> old_order;
+    std::vector<PredicateForm> old_forms;
     double old_cycles_per_tuple = 0;
     bool exploration = false;
   };
@@ -146,11 +180,13 @@ class ProgressiveOptimizer {
   std::optional<PendingValidation> pending_;
   double last_cycles_per_tuple_ = 0;
   size_t optimization_count_ = 0;
-  /// Hysteresis: an order that validation just rolled back is not
-  /// re-proposed for `hysteresis_ttl_` optimization cycles, preventing
-  /// estimate-noise oscillation (propose -> revert -> propose -> ...)
-  /// while still allowing the order back in once conditions change.
+  /// Hysteresis: an order (+ forms, under kSimdAware) that validation
+  /// just rolled back is not re-proposed for `hysteresis_ttl_`
+  /// optimization cycles, preventing estimate-noise oscillation
+  /// (propose -> revert -> propose -> ...) while still allowing the
+  /// order back in once conditions change.
   std::vector<size_t> recently_reverted_;
+  std::vector<PredicateForm> recently_reverted_forms_;
   int hysteresis_ttl_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "common/prng.h"
+#include "exec/simd.h"
 #include "hw/shared_cache.h"
 #include "optimizer/progressive.h"
 
@@ -214,6 +215,59 @@ TEST_P(PipelineFuzzTest, ScalarAndBatchedReportingBitIdentical) {
     ASSERT_EQ(scalar_samples.size(), batched_samples.size());
     for (size_t v = 0; v < scalar_samples.size(); ++v) {
       ASSERT_EQ(scalar_samples[v], batched_samples[v])
+          << "seed=" << seed << " vector=" << v;
+    }
+  }
+}
+
+TEST_P(PipelineFuzzTest, Avx2AndScalarKernelsBitIdentical) {
+  // The SIMD layer's contract (DESIGN.md Section 8): the AVX2 and
+  // branch-free scalar kernels produce identical results, and because
+  // executors book the logical event stream themselves, identical
+  // simulated counters — on any cache geometry. Prove it differentially
+  // over the same random pipelines as the reporting-mode test.
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "host lacks AVX2; only the scalar kernels can run";
+  }
+  const uint64_t seed = GetParam();
+  RandomCase c = MakeCase(seed);
+  Prng prng(seed ^ 0x51d);
+
+  for (const uint64_t cache_divisor : {8ull, 32ull, 1024ull}) {
+    std::vector<size_t> order(c.ops.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[prng.NextBounded(i)]);
+    }
+    const size_t vector_size = 64 + prng.NextBounded(8192);
+
+    const HwConfig hw = HwConfig::ScaledXeon(cache_divisor);
+    std::vector<std::vector<PmuCounters>> samples(2);
+    DriveResult results[2];
+    int which = 0;
+    for (const simd::SimdLevel level :
+         {simd::SimdLevel::kScalar, simd::SimdLevel::kAvx2}) {
+      simd::ForceLevel(level);
+      Pmu pmu(hw);
+      auto exec = PipelineExecutor::Compile(c.table, c.ops, c.payload, &pmu);
+      ASSERT_TRUE(exec.ok());
+      ASSERT_TRUE(exec.ValueOrDie()->Reorder(order).ok());
+      VectorDriver driver(exec.ValueOrDie().get(), vector_size);
+      auto* out = &samples[which];
+      results[which++] = driver.Run(
+          [out](const VectorSample& s) { out->push_back(s.counters); });
+    }
+    simd::ResetForcedLevel();
+    ASSERT_EQ(results[0].qualifying_tuples, results[1].qualifying_tuples)
+        << "seed=" << seed << " divisor=" << cache_divisor;
+    ASSERT_EQ(results[0].aggregate, results[1].aggregate);
+    ASSERT_EQ(results[0].total, results[1].total)
+        << "seed=" << seed << " divisor=" << cache_divisor << "\nscalar: "
+        << results[0].total.ToString() << "\navx2:   "
+        << results[1].total.ToString();
+    ASSERT_EQ(samples[0].size(), samples[1].size());
+    for (size_t v = 0; v < samples[0].size(); ++v) {
+      ASSERT_EQ(samples[0][v], samples[1][v])
           << "seed=" << seed << " vector=" << v;
     }
   }

@@ -1,0 +1,214 @@
+/// \file simd_cost_test.cc
+/// SIMD-aware predicate pricing (DESIGN.md Section 8): the priced
+/// branching/branch-free crossover selectivity must match both a
+/// brute-force sweep of the pricing model and — the load-bearing check —
+/// a brute-force sweep of the *simulated machine* (executing one
+/// predicate in each form and comparing booked cycles). Also pins the
+/// order-flip behaviour: CostPricing::kSimdAware changes the progressive
+/// optimizer's chosen predicate order versus kBranchCycles on a workload
+/// built to straddle the two models' rankings.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.h"
+#include "cost/branch_model.h"
+#include "optimizer/progressive.h"
+
+namespace nipo {
+namespace {
+
+constexpr double kCmp = LoopCostModel::kCompareInstructions;
+constexpr double kBf = LoopCostModel::kBranchFreeInstructions;
+
+TEST(FormCrossoverTest, MatchesBruteForceSweepOfPricingModel) {
+  const HwConfig hw;
+  const double priced =
+      ComputeFormCrossover(hw.cycle_model, hw.predictor, kCmp, kBf, 0.0);
+  ASSERT_GT(priced, 0.0);
+  ASSERT_LT(priced, 0.5);
+
+  // Fine sweep of the model itself: the first grid point where the
+  // branch-free form wins must bracket the bisected crossover.
+  const double step = 1e-4;
+  double first_branch_free = 1.0;
+  for (double s = 0.0; s <= 0.5; s += step) {
+    const PredicateFormCosts costs = PricePredicateForms(
+        hw.cycle_model, hw.predictor, s, kCmp, kBf, 0.0);
+    if (costs.branch_free_cheaper()) {
+      first_branch_free = s;
+      break;
+    }
+  }
+  EXPECT_NEAR(priced, first_branch_free, step);
+
+  // On either side of the crossover the cheaper form is the expected one.
+  const PredicateFormCosts below = PricePredicateForms(
+      hw.cycle_model, hw.predictor, priced - 0.01, kCmp, kBf, 0.0);
+  EXPECT_FALSE(below.branch_free_cheaper());
+  EXPECT_EQ(below.cheapest(), below.branching);
+  const PredicateFormCosts above = PricePredicateForms(
+      hw.cycle_model, hw.predictor, priced + 0.01, kCmp, kBf, 0.0);
+  EXPECT_TRUE(above.branch_free_cheaper());
+  EXPECT_EQ(above.cheapest(), above.branch_free);
+}
+
+TEST(FormCrossoverTest, ExtraInstructionsShiftBothFormsEqually) {
+  // Extra per-tuple work (UDFs, wide compares) is paid by both forms, so
+  // the crossover does not move with it.
+  const HwConfig hw;
+  const double plain =
+      ComputeFormCrossover(hw.cycle_model, hw.predictor, kCmp, kBf, 0.0);
+  const double heavy =
+      ComputeFormCrossover(hw.cycle_model, hw.predictor, kCmp, kBf, 10.0);
+  EXPECT_DOUBLE_EQ(plain, heavy);
+}
+
+TEST(FormCrossoverTest, DegenerateKernelCostsHitTheBounds) {
+  const HwConfig hw;
+  // A branch-free kernel no more expensive than the compare is cheaper
+  // at every selectivity (it still saves the branch cycle).
+  EXPECT_EQ(ComputeFormCrossover(hw.cycle_model, hw.predictor, 1.0, 1.0,
+                                 0.0),
+            0.0);
+  // A wildly expensive kernel never wins on [0, 0.5].
+  EXPECT_EQ(ComputeFormCrossover(hw.cycle_model, hw.predictor, 1.0, 100.0,
+                                 0.0),
+            1.0);
+}
+
+TEST(FormCrossoverTest, MatchesBruteForceSweepOfSimulatedMachine) {
+  // Execute one predicate per selectivity in both forms on the default
+  // simulated machine and find where the booked cycle totals cross. The
+  // pricing model uses the Markov steady-state misprediction rate; the
+  // machine runs the real finite predictor over one concrete i.i.d.
+  // sequence, so the empirical crossover may land one grid step away.
+  const HwConfig hw;
+  const double priced =
+      ComputeFormCrossover(hw.cycle_model, hw.predictor, kCmp, kBf, 0.0);
+
+  const size_t n = 120'000;
+  auto cycles_at = [&](double selectivity, PredicateForm form) {
+    Prng prng(31);  // same column data for both forms
+    std::vector<int32_t> col(n);
+    for (size_t i = 0; i < n; ++i) {
+      col[i] = static_cast<int32_t>(prng.NextBounded(100'000));
+    }
+    Table t("t");
+    NIPO_CHECK(t.AddColumn("v", std::move(col)).ok());
+    Pmu pmu(hw);
+    auto exec = PipelineExecutor::Compile(
+        t,
+        {OperatorSpec::Predicate(
+            {"v", CompareOp::kLt, selectivity * 100'000})},
+        {}, &pmu);
+    NIPO_CHECK(exec.ok());
+    NIPO_CHECK(exec.ValueOrDie()->SetForms({form}).ok());
+    return RunBaseline(exec.ValueOrDie().get(), 8'192).total.cycles;
+  };
+
+  const double grid_step = 0.01;
+  double empirical = 1.0;
+  for (double s = 0.02; s <= 0.14; s += grid_step) {
+    if (cycles_at(s, PredicateForm::kBranchFree) <
+        cycles_at(s, PredicateForm::kBranching)) {
+      empirical = s;
+      break;
+    }
+  }
+  ASSERT_LT(empirical, 1.0) << "branch-free never won on the sweep";
+  // Within one grid step of the priced crossover.
+  EXPECT_NEAR(empirical, priced, grid_step + 1e-9);
+}
+
+/// Two-predicate workload built to straddle the rankings: A has worse
+/// selectivity (0.5) but is plain; B is more selective (0.3) but pays 10
+/// extra per-tuple instructions. Priced on the default machine,
+/// kBranchCycles ranks B first (branching costs: A 8.5, B ~10.9 cycles
+/// per tuple), while kSimdAware switches both to their cheaper form
+/// (A branch-free 2.0, B branch-free 7.0) and ranks A first.
+struct FlipFixture {
+  Table table{"t"};
+  Pmu pmu{HwConfig()};
+  std::unique_ptr<PipelineExecutor> exec;
+  uint64_t expected_qualifying = 0;
+
+  explicit FlipFixture(uint64_t seed = 9) {
+    const size_t n = 150'000;
+    Prng prng(seed);
+    std::vector<int32_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int32_t>(prng.NextBounded(1000));
+      b[i] = static_cast<int32_t>(prng.NextBounded(1000));
+      if (a[i] < 500 && b[i] < 300) ++expected_qualifying;
+    }
+    EXPECT_TRUE(table.AddColumn("a", std::move(a)).ok());
+    EXPECT_TRUE(table.AddColumn("b", std::move(b)).ok());
+    PredicateSpec pb{"b", CompareOp::kLt, 300.0};
+    pb.extra_instructions = 10.0;
+    auto compiled = PipelineExecutor::Compile(
+        table,
+        {OperatorSpec::Predicate({"a", CompareOp::kLt, 500.0}),
+         OperatorSpec::Predicate(pb)},
+        {}, &pmu);
+    EXPECT_TRUE(compiled.ok());
+    exec = std::move(compiled).ValueOrDie();
+  }
+};
+
+ProgressiveReport RunWithPricing(CostPricing pricing) {
+  FlipFixture fx;
+  ProgressiveConfig cfg;
+  cfg.vector_size = 8'192;
+  cfg.reopt_interval = 2;
+  cfg.pricing = pricing;
+  ProgressiveOptimizer opt(fx.exec.get(), cfg);
+  ProgressiveReport report = opt.Run();
+  EXPECT_EQ(report.drive.qualifying_tuples, fx.expected_qualifying);
+  return report;
+}
+
+TEST(SimdAwarePricingTest, ChangesChosenPredicateOrder) {
+  // Branch-cost-only pricing prefers the more selective B first; the
+  // SIMD-aware model knows A's 0.5-selectivity branch is exactly the one
+  // a branch-free kernel makes cheap, and keeps A first. The optimizer's
+  // chosen order flips between the two pricings on identical data — the
+  // EXPERIMENTS.md "SIMD kernels" demonstration.
+  const ProgressiveReport branch_cycles =
+      RunWithPricing(CostPricing::kBranchCycles);
+  EXPECT_EQ(branch_cycles.final_order, (std::vector<size_t>{1, 0}));
+
+  const ProgressiveReport simd_aware =
+      RunWithPricing(CostPricing::kSimdAware);
+  EXPECT_EQ(simd_aware.final_order, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SimdAwarePricingTest, SimdAwareRunSwitchesFormsAndPreservesResults) {
+  const ProgressiveReport report = RunWithPricing(CostPricing::kSimdAware);
+  // Both predicates price cheaper branch-free (0.5 and 0.3 are above the
+  // ~0.066 crossover); at least one applied change must carry a
+  // branch-free form.
+  bool saw_branch_free = false;
+  for (const PeoChange& change : report.changes) {
+    ASSERT_EQ(change.old_forms.size(), change.new_forms.size());
+    if (change.reverted) continue;
+    for (const PredicateForm form : change.new_forms) {
+      if (form == PredicateForm::kBranchFree) saw_branch_free = true;
+    }
+  }
+  EXPECT_TRUE(saw_branch_free);
+}
+
+TEST(SimdAwarePricingTest, BranchCyclesRunKeepsAllBranchingForms) {
+  const ProgressiveReport report =
+      RunWithPricing(CostPricing::kBranchCycles);
+  for (const PeoChange& change : report.changes) {
+    for (const PredicateForm form : change.new_forms) {
+      EXPECT_EQ(form, PredicateForm::kBranching);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nipo
