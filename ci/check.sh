@@ -62,6 +62,9 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
   echo "== perf smoke: service_latency =="
   "$BUILD_DIR"/bench/service_latency --quick \
       --json="$BUILD_DIR"/BENCH_service_latency.json
+  echo "== perf smoke: service_faults =="
+  "$BUILD_DIR"/bench/service_faults --quick \
+      --json="$BUILD_DIR"/BENCH_service_faults.json
   echo "== perf smoke: simd_kernels =="
   "$BUILD_DIR"/bench/simd_kernels --quick \
       --json="$BUILD_DIR"/BENCH_simd_kernels.json
@@ -71,6 +74,9 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
   # committed anchors (see ci/perf_gate.py). The service-latency gate
   # metric is open-loop throughput at the lowest swept rate — p99 tails
   # are load-shape measurements, not simulator-health ones. The
+  # service-faults gate metric is goodput at fault rate zero — the
+  # fault-free service baseline; the faulty points of that bench grade
+  # retry/shedding policy, which its internal gates already pin. The
   # SIMD-kernel gate is dropped under NIPO_SIMD=OFF: its anchor records
   # AVX2 throughput the scalar-only build cannot reach.
   if [[ "${NIPO_PERF_GATE:-1}" == "1" ]]; then
@@ -80,6 +86,7 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
         --gate "BENCH_sim_throughput.json:$BUILD_DIR/BENCH_sim_throughput.json"
         --gate "BENCH_workload_contention.json:$BUILD_DIR/BENCH_workload_contention.json:sim_queries_per_sec"
         --gate "BENCH_service_latency.json:$BUILD_DIR/BENCH_service_latency.json:sim_queries_per_sec"
+        --gate "BENCH_service_faults.json:$BUILD_DIR/BENCH_service_faults.json:sim_goodput_qps"
       )
       if [[ "$NIPO_SIMD" != "OFF" ]]; then
         GATES+=(--gate "BENCH_simd_kernels.json:$BUILD_DIR/BENCH_simd_kernels.json:tuples_per_sec_simd")
@@ -94,18 +101,21 @@ fi
 
 # ThreadSanitizer pass over the concurrency tests (the sharded parallel
 # driver, the multi-query workload driver, the shared-L3 contention
-# layer, the open-loop service mode, and the SIMD kernel layer, whose
-# forced-level override is process-global state the executors read).
-# Tests only (no benches/examples) keeps the second build tree small.
+# layer, the open-loop service mode, the fault-tolerance layer — whose
+# cancellation token crosses worker threads — and the SIMD kernel
+# layer, whose forced-level override is process-global state the
+# executors read). Tests only (no benches/examples) keeps the second
+# build tree small.
 if [[ "${NIPO_TSAN:-1}" == "1" ]]; then
   echo "== ThreadSanitizer build: parallel + workload driver tests =="
   cmake -B "$BUILD_DIR-tsan" -S . -DNIPO_TSAN=ON -DNIPO_SIMD="$NIPO_SIMD" \
       -DNIPO_BUILD_BENCHES=OFF -DNIPO_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
       --target parallel_driver_test workload_driver_test \
-      workload_contention_test service_mode_test simd_kernels_test
+      workload_contention_test service_mode_test service_faults_test \
+      simd_kernels_test
   (cd "$BUILD_DIR-tsan" && NIPO_TEST_THREADS=8 \
-      ctest -R 'parallel_driver_test|workload_driver_test|workload_contention_test|service_mode_test|simd_kernels_test' \
+      ctest -R 'parallel_driver_test|workload_driver_test|workload_contention_test|service_mode_test|service_faults_test|simd_kernels_test' \
       --output-on-failure)
 fi
 

@@ -3,6 +3,15 @@
 #   nipo_add_test(tests/foo_test.cc)     -> binary foo_test, registered in ctest
 #   nipo_add_bench(bench/fig01_x.cc)     -> binary fig01_x under bench/
 #   nipo_add_example(examples/bar.cc)    -> binary bar under examples/
+#
+# Every registered test carries a ctest TIMEOUT so a hung suite fails loudly
+# instead of wedging the whole run: NIPO_TEST_TIMEOUT seconds by default
+# (generous -- sanitizer builds are slow), or an explicit
+#   nipo_add_test(tests/foo_test.cc TIMEOUT 60)
+# for suites that should be tighter.
+
+set(NIPO_TEST_TIMEOUT 600 CACHE STRING
+    "Default per-test ctest timeout in seconds")
 
 function(nipo_set_warnings target)
   if(MSVC)
@@ -26,11 +35,16 @@ function(nipo_set_warnings target)
 endfunction()
 
 function(nipo_add_test source)
+  cmake_parse_arguments(ARG "" "TIMEOUT" "" ${ARGN})
+  if(NOT ARG_TIMEOUT)
+    set(ARG_TIMEOUT ${NIPO_TEST_TIMEOUT})
+  endif()
   get_filename_component(name ${source} NAME_WE)
   add_executable(${name} ${source})
   target_link_libraries(${name} PRIVATE nipo GTest::gtest GTest::gtest_main)
   nipo_set_warnings(${name})
   add_test(NAME ${name} COMMAND ${name})
+  set_tests_properties(${name} PROPERTIES TIMEOUT ${ARG_TIMEOUT})
 endfunction()
 
 function(nipo_add_bench source)

@@ -73,6 +73,10 @@ Result<BaselineReport> Engine::ExecuteBaseline(
   BaselineReport report;
   report.order = exec->current_order();
   report.drive = RunBaseline(exec.get(), vector_size);
+  // Runtime data errors (e.g. an FK value outside its dimension) latch on
+  // the executor instead of aborting; the solo entry points surface them
+  // as a failed call.
+  NIPO_RETURN_NOT_OK(exec->error());
   return report;
 }
 
@@ -88,7 +92,9 @@ Result<ProgressiveReport> Engine::ExecuteProgressive(
       CompileQuery(query, &pmu, InstrumentationMode::kPmu));
   NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), initial_order));
   ProgressiveOptimizer optimizer(exec.get(), config);
-  return optimizer.Run();
+  auto report = optimizer.Run();
+  NIPO_RETURN_NOT_OK(exec->error());
+  return report;
 }
 
 Result<ParallelBaselineReport> Engine::ExecuteBaselineParallel(
@@ -103,6 +109,7 @@ Result<ParallelBaselineReport> Engine::ExecuteBaselineParallel(
   ParallelConfig pcfg;
   pcfg.num_threads = options.num_threads;
   pcfg.morsel_size = options.morsel_size;
+  pcfg.cancel = options.cancel;
   ParallelDriver driver(
       NewMachine(),
       [this, &query](Pmu* pmu) {
@@ -113,6 +120,10 @@ Result<ParallelBaselineReport> Engine::ExecuteBaselineParallel(
   // worker executor and applies `order` before any thread starts.
   ParallelBaselineReport report;
   NIPO_ASSIGN_OR_RETURN(report.drive, driver.Run(order));
+  // A runtime data error fails the call, like the solo entry point;
+  // cooperative cancellation instead returns the partial report with
+  // drive.cancelled set.
+  NIPO_RETURN_NOT_OK(report.drive.error);
   if (order.has_value()) {
     report.order = *std::move(order);
   } else {
@@ -144,6 +155,7 @@ Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
   ParallelConfig pcfg;
   pcfg.num_threads = options.num_threads;
   pcfg.morsel_size = config.vector_size;  // the paper's sampling unit
+  pcfg.cancel = options.cancel;
   ParallelDriver driver(
       NewMachine(),
       [this, &query](Pmu* pmu) {
@@ -156,6 +168,7 @@ Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
       driver.Run(initial_order, [&coordinator](const MorselRecord& record) {
         return coordinator.OnMorsel(record);
       }));
+  NIPO_RETURN_NOT_OK(report.drive.error);
   coordinator.FillReport(&report);
   return report;
 }
@@ -227,6 +240,8 @@ Result<WorkloadReport> Engine::ExecuteWorkload(const WorkloadSpec& spec) const {
     task.config = q.config;
     task.initial_order = q.initial_order;
     task.priority = q.priority;
+    task.sim_deadline_msec = q.sim_deadline_msec;
+    task.sim_cancel_msec = q.sim_cancel_msec;
     auto table = GetTable(q.query.table);
     if (table.ok()) {
       FillScheduleEstimates(*table.ValueOrDie(), q.query, hw_, &task);

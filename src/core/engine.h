@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -61,6 +62,11 @@ struct ParallelOptions {
   /// entry point uses ProgressiveConfig::vector_size instead, so its
   /// sampling unit matches the single-threaded driver.
   size_t morsel_size = 65'536;
+  /// Optional cooperative cancellation token (see ParallelConfig::cancel):
+  /// workers stop at the next morsel boundary once it reads true and the
+  /// report comes back with drive.cancelled set and partial counts. The
+  /// pointee must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// \brief Sharded baseline execution result.
@@ -89,6 +95,15 @@ struct WorkloadQuery {
   /// derived automatically from the cost model (cost/cache_model.h)
   /// against the registered tables; see Engine::ExecuteWorkload.
   int priority = 0;
+  /// Simulated deadline relative to arrival (0 = none; see
+  /// WorkloadTask::sim_deadline_msec): past it the query is killed
+  /// cooperatively at a vector boundary (QueryOutcome::kDeadlineExceeded)
+  /// or — with WorkloadOptions::shed_deadline — shed at admission.
+  double sim_deadline_msec = 0;
+  /// Absolute simulated cancellation instant (0 = none; see
+  /// WorkloadTask::sim_cancel_msec): a user abort in simulated time,
+  /// honoured at the next vector boundary (QueryOutcome::kCancelled).
+  double sim_cancel_msec = 0;
 };
 
 /// \brief A workload: the query queue plus its scheduling options

@@ -150,10 +150,16 @@ void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
 void PrintWorkloadReport(const WorkloadReport& report,
                          const std::string& title, std::ostream& out) {
   const bool open = report.arrival_kind != ArrivalKind::kClosed;
+  // Fault-mode columns only appear when some query needed them.
+  const bool faulty =
+      report.queries_ok != report.queries.size() || report.total_retries > 0;
   TablePrinter queries(title + " - queries");
   std::vector<std::string> header = {"query",     "mode",       "qualifying",
                                      "machine msec", "sim start", "sim finish",
                                      "quanta",    "PEO changes"};
+  if (faulty) {
+    header.insert(header.end(), {"outcome", "attempts", "backoff"});
+  }
   if (open) {
     header.insert(header.end(), {"arrival", "queue wait", "latency"});
   }
@@ -170,6 +176,11 @@ void PrintWorkloadReport(const WorkloadReport& report,
         FormatDouble(q.sim_start_msec, 3), FormatDouble(q.sim_finish_msec, 3),
         std::to_string(q.quanta),
         q.progressive ? std::to_string(q.changes.size()) : "-"};
+    if (faulty) {
+      row.push_back(std::string(QueryOutcomeToString(q.outcome)));
+      row.push_back(std::to_string(q.attempts));
+      row.push_back(FormatDouble(q.sim_backoff_msec, 3));
+    }
     if (open) {
       row.push_back(FormatDouble(q.sim_arrival_msec, 3));
       row.push_back(FormatDouble(q.sim_queue_wait_msec, 3));
@@ -206,6 +217,16 @@ void PrintWorkloadReport(const WorkloadReport& report,
         << " (min seen: " << report.admission_min_limit
         << ", +" << report.admission_increases << "/-"
         << report.admission_decreases << " steps)\n";
+  }
+  if (faulty) {
+    out << "outcomes: " << report.queries_ok << " ok, "
+        << report.queries_failed << " failed, "
+        << report.queries_deadline_exceeded << " deadline, "
+        << report.queries_cancelled << " cancelled, " << report.queries_shed
+        << " shed; retries: " << report.total_retries << " (backoff "
+        << FormatDouble(report.total_backoff_msec, 3) << " msec)\n"
+        << "goodput: " << FormatDouble(report.sim_goodput_qps, 1)
+        << " ok-queries/sec\n";
   }
   out << "simulated makespan: " << FormatDouble(report.sim_makespan_msec, 3)
       << " msec (serial: " << FormatDouble(report.sim_serial_msec, 3)

@@ -91,4 +91,34 @@ void AdmissionController::Decide() {
   NIPO_CHECK(limit_ >= 1);  // the progress guarantee, unconditionally
 }
 
+void DeadlineShedder::OnQueryDone(double service_msec, double work) {
+  total_msec_ += service_msec;
+  total_work_ += work;
+  ++queries_done_;
+}
+
+double DeadlineShedder::EstimateServiceMsec(double work) const {
+  if (queries_done_ == 0) return 0.0;
+  if (work > 0 && total_work_ > 0) {
+    return work * (total_msec_ / total_work_);
+  }
+  // No work scores to scale by: the mean observed service time.
+  return total_msec_ / static_cast<double>(queries_done_);
+}
+
+bool DeadlineShedder::ShouldShed(double now, double arrival_msec,
+                                 double deadline_msec, double work,
+                                 size_t in_flight,
+                                 size_t num_threads) const {
+  if (!(deadline_msec > 0) || queries_done_ == 0) return false;
+  const double crowding =
+      num_threads > 0
+          ? std::max(1.0, static_cast<double>(in_flight + 1) /
+                              static_cast<double>(num_threads))
+          : 1.0;
+  const double predicted_finish =
+      now + EstimateServiceMsec(work) * crowding;
+  return predicted_finish > arrival_msec + deadline_msec;
+}
+
 }  // namespace nipo

@@ -137,4 +137,49 @@ class AdmissionController {
   size_t min_limit_seen_ = 1;
 };
 
+/// \brief Deadline-aware admission shedding (DESIGN.md Section 9): the
+/// failure-aware half of the admission layer. A query that has already
+/// waited so long in the queue that it cannot finish before its deadline
+/// even if admitted *now* will only burn worker time and die at a vector
+/// boundary anyway; shedding rejects it at admission instead
+/// (QueryOutcome::kShed), preferring early rejection over a late
+/// deadline miss and leaving the capacity to queries that can still make
+/// their deadlines.
+///
+/// The service-time estimate calibrates online: every query that
+/// completes OK contributes its scheduled machine time against its cost-
+/// model work score (WorkloadTask::estimated_work, priced by
+/// FillScheduleEstimates), giving a live msec-per-work rate; queries
+/// without work scores fall back to the mean observed service time. The
+/// predicted completion also scales with the pool crowding
+/// ((in_flight + 1) / num_threads) since admitted queries time-share the
+/// workers. No completions yet means no estimate — the shedder never
+/// sheds blind. Like the AdmissionController, it is a pure function of
+/// the sequence fed to it, so live runs and trace replays shed
+/// identically.
+class DeadlineShedder {
+ public:
+  /// Feeds one OK completion: its total scheduled quantum time and its
+  /// work score (0 when the workload carries no estimates).
+  void OnQueryDone(double service_msec, double work);
+
+  /// True once at least one completion calibrated the estimate.
+  bool calibrated() const { return queries_done_ > 0; }
+
+  /// Predicted solo service time of a query with work score `work`.
+  double EstimateServiceMsec(double work) const;
+
+  /// True iff a query picked for admission at `now` should be shed:
+  /// its predicted completion, crowding-scaled, lands past
+  /// arrival + deadline. `deadline_msec <= 0` means no deadline (never
+  /// shed); an uncalibrated shedder never sheds.
+  bool ShouldShed(double now, double arrival_msec, double deadline_msec,
+                  double work, size_t in_flight, size_t num_threads) const;
+
+ private:
+  double total_msec_ = 0;
+  double total_work_ = 0;
+  size_t queries_done_ = 0;
+};
+
 }  // namespace nipo

@@ -85,14 +85,20 @@ ParallelDriver::ParallelDriver(const Pmu& prototype, ExecutorFactory factory,
                                ParallelConfig config)
     : prototype_(prototype.CloneFresh()),
       factory_(std::move(factory)),
-      config_(config) {
-  NIPO_CHECK(factory_ != nullptr);
-  NIPO_CHECK(config_.num_threads > 0);
-  NIPO_CHECK(config_.morsel_size > 0);
-}
+      config_(config) {}
 
 Result<ParallelDriveResult> ParallelDriver::Run(
     std::optional<std::vector<size_t>> initial_order, const MorselHook& hook) {
+  // Configuration is user input: propagate instead of aborting.
+  if (factory_ == nullptr) {
+    return Status::InvalidArgument("executor factory must not be null");
+  }
+  if (config_.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (config_.morsel_size == 0) {
+    return Status::InvalidArgument("morsel_size must be positive");
+  }
   const size_t num_workers = config_.num_threads;
   const bool sampling = config_.sample_counters || hook != nullptr;
 
@@ -131,6 +137,12 @@ Result<ParallelDriveResult> ParallelDriver::Run(
   MorselQueue queue(num_morsels, num_workers);
   OrderBroadcast broadcast;
   std::mutex coordinator_mu;  // serializes hook invocations
+  // Stop signals checked at morsel boundaries: the caller's cooperative
+  // cancellation token, and the internal abort raised when any worker's
+  // executor latches a runtime data error (no point finishing the scan
+  // once the query has failed).
+  std::atomic<bool> saw_cancel{false};
+  std::atomic<bool> abort{false};
 
   auto worker_main = [&](size_t worker_id) {
     PipelineExecutor* exec = executors[worker_id].get();
@@ -139,7 +151,16 @@ Result<ParallelDriveResult> ParallelDriver::Run(
     const PmuCounters start = pmu->Read();
     uint64_t local_version = 0;
     std::optional<size_t> morsel;
-    while ((morsel = queue.Next(worker_id, &stats.steals)).has_value()) {
+    for (;;) {
+      if (config_.cancel != nullptr &&
+          config_.cancel->load(std::memory_order_acquire)) {
+        saw_cancel.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (abort.load(std::memory_order_acquire)) break;
+      if (!(morsel = queue.Next(worker_id, &stats.steals)).has_value()) {
+        break;
+      }
       // Apply any broadcast order change at the morsel boundary.
       if (broadcast.version.load(std::memory_order_acquire) !=
           local_version) {
@@ -177,6 +198,10 @@ Result<ParallelDriveResult> ParallelDriver::Run(
         }
       }
       ++stats.morsels;
+      if (!exec->error().ok()) {
+        abort.store(true, std::memory_order_release);
+        break;
+      }
     }
     stats.counters = pmu->Read() - start;
     stats.simulated_msec = pmu->ToMilliseconds(stats.counters);
@@ -207,13 +232,26 @@ Result<ParallelDriveResult> ParallelDriver::Run(
     out.merged.qualifying_tuples += results[m].qualifying_tuples;
     out.merged.aggregate += results[m].aggregate;
   }
-  out.merged.num_vectors = num_morsels;
+  // Executed morsels, not the table's morsel count: a cancelled or
+  // aborted run merges only what actually ran (equal on a full run).
+  out.merged.num_vectors = 0;
   for (const WorkerStats& w : out.workers) {
+    out.merged.num_vectors += w.morsels;
     out.merged.total += w.counters;
     out.merged.simulated_msec =
         std::max(out.merged.simulated_msec, w.simulated_msec);
   }
   out.samples = std::move(records);
+  out.cancelled = saw_cancel.load(std::memory_order_relaxed);
+  // Surface the first latched data error by worker index (only the shard
+  // holding the bad row latches, so the pick is deterministic in
+  // practice).
+  for (const std::unique_ptr<PipelineExecutor>& exec : executors) {
+    if (!exec->error().ok()) {
+      out.error = exec->error();
+      break;
+    }
+  }
   return out;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -55,6 +56,12 @@ struct ParallelConfig {
   /// host-dependent interleavings (the workload driver's contention mode
   /// therefore runs single-threaded; see DESIGN.md Section 6).
   std::function<void(size_t, Pmu*)> machine_hook;
+  /// Optional cooperative cancellation token (DESIGN.md Section 9): when
+  /// non-null, every worker checks it before claiming each morsel and
+  /// stops once it reads true. The run then returns with
+  /// ParallelDriveResult::cancelled set and the partial merge of the
+  /// morsels that completed. The pointee must outlive Run().
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// \brief One morsel's execution record: the per-morsel sample (with
@@ -92,6 +99,14 @@ struct ParallelDriveResult {
   /// Real host wall-clock of the parallel region, for the thread-scaling
   /// bench (bench/scale_threads.cc). Not simulated and not deterministic.
   double wall_msec = 0;
+  /// True iff the run stopped early because ParallelConfig::cancel read
+  /// true; `merged` then holds the partial counts of completed morsels.
+  bool cancelled = false;
+  /// First runtime data error latched by any worker's executor
+  /// (PipelineExecutor::error(); OK when none). All workers stop at the
+  /// next morsel boundary once one latches; `merged` holds the partial
+  /// counts accumulated before the stop.
+  Status error;
 };
 
 /// \brief Drives N thread-local PipelineExecutors over morsel shards.

@@ -188,9 +188,11 @@ double PipelineExecutor::LoadValue(const uint8_t* data, uint32_t width,
 
 VectorResult PipelineExecutor::ExecuteRange(size_t begin, size_t end) {
   NIPO_CHECK(begin <= end && end <= num_rows_);
+  if (!error_.ok()) return VectorResult{};  // latched: executor is dead
   VectorResult result;
   result.input_tuples = end - begin;
   ForEachSimBlock(begin, end, [&](size_t block, size_t n) {
+    if (!error_.ok()) return;
     ExecuteBlock(block, n, &result);
   });
   return result;
@@ -251,7 +253,17 @@ void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
         const uint32_t offset = sel ? sel[j] : static_cast<uint32_t>(j);
         const uint64_t key =
             static_cast<uint64_t>(static_cast<int64_t>(fk[offset]));
-        NIPO_CHECK(key < op.dim_rows);
+        if (key >= op.dim_rows) {
+          // Data-dependent and only discoverable here: latch instead of
+          // aborting, before anything dereferences the dimension column
+          // at the bad key. The drivers turn the latch into a failed
+          // query; the block's partial work stays accounted.
+          error_ = Status::OutOfRange(
+              "FK value " + std::to_string(fk[offset]) + " at row " +
+              std::to_string(block_begin + offset) + " outside dimension (" +
+              std::to_string(op.dim_rows) + " rows)");
+          return;
+        }
         keys_[j] = static_cast<uint32_t>(key);
       }
       pmu_->OnGatherLoads(op.dim_data, op.dim_width, keys_.data(), active);

@@ -55,8 +55,17 @@ class PipelineExecutor {
       std::vector<std::string> payload_columns, Pmu* pmu,
       InstrumentationMode mode = InstrumentationMode::kPmu);
 
-  /// Executes rows [begin, end).
+  /// Executes rows [begin, end). If a runtime data error latches (see
+  /// error()) the range stops early and returns the rows processed so
+  /// far; further calls are no-ops until the latch is inspected.
   VectorResult ExecuteRange(size_t begin, size_t end);
+
+  /// Runtime data-error latch. Data that can only be validated while
+  /// executing — an FK value outside its dimension table, for instance —
+  /// latches a Status here instead of aborting the process; execution
+  /// stops at the current block and the drivers surface the Status as a
+  /// failed query (QueryOutcome::kFailed) with partial progress kept.
+  const Status& error() const { return error_; }
 
   /// Executes the whole table.
   VectorResult ExecuteAll() { return ExecuteRange(0, num_rows_); }
@@ -137,6 +146,7 @@ class PipelineExecutor {
   std::vector<size_t> order_;             // current order (original indices)
   std::vector<CompiledPayload> payloads_;
   std::vector<uint64_t> enum_pass_;
+  Status error_;  ///< runtime data-error latch (see error())
   size_t num_rows_ = 0;
   Pmu* pmu_ = nullptr;
   InstrumentationMode mode_ = InstrumentationMode::kPmu;

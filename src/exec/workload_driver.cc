@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <queue>
@@ -81,6 +82,15 @@ struct QueryRun {
   /// Contention mode: occupancy gauges sampled at the last quantum.
   uint64_t peak_occupancy_lines = 0;
   uint64_t final_occupancy_lines = 0;
+
+  /// Fault-mode state (DESIGN.md Section 9). Defaults describe the
+  /// fault-free run: one attempt, no backoff, outcome kOk.
+  QueryOutcome outcome = QueryOutcome::kOk;
+  size_t attempts = 1;
+  double backoff_msec = 0;
+  Status error;
+  /// Per-quantum fates, parallel to quantum_msec.
+  std::vector<QuantumFate> quantum_fate;
 };
 
 /// Executes one vector of `run`, replaying VectorDriver::Run exactly:
@@ -199,6 +209,10 @@ struct QuantumOutcome {
   uint64_t evictions_suffered = 0;
   uint64_t occupancy_lines = 0;
   bool done = false;
+  /// How the quantum ended; anything but kNormal ends the attempt (the
+  /// loop decides whether a retry follows). `done` is only meaningful
+  /// for kNormal fates.
+  QuantumFate fate = QuantumFate::kNormal;
 };
 
 /// Optional side-effect hooks of the event loop (used by the contention
@@ -206,6 +220,10 @@ struct QuantumOutcome {
 struct EventLoopHooks {
   std::function<void(size_t)> on_admit;
   std::function<void(size_t)> on_complete;
+  /// A transient fault is being retried: reset the query's execution
+  /// state (fresh machine, recompiled pipeline, fresh optimizer) so the
+  /// next dispatch restarts the query from row zero.
+  std::function<void(size_t)> on_retry;
   std::function<uint64_t(size_t)> live_footprint;
 };
 
@@ -234,11 +252,21 @@ struct EventLoopHooks {
 ///
 /// Ties in completion time break by dispatch sequence, making the loop
 /// fully deterministic.
+///
+/// Fault mode (non-null `faults`): run_quantum reports each quantum's
+/// fate. kTransientFault attempts retry after a reconstructed capped-
+/// exponential backoff (re-entering the ready queue at fail time +
+/// backoff, keeping the admission slot) until the retry budget is spent;
+/// kill fates and exhausted retries complete the query with the matching
+/// outcome. With shedding on, admission picks whose predicted completion
+/// misses their deadline are rejected (kShed) without ever dispatching —
+/// the DeadlineShedder calibrates from completed-OK queries' scheduled
+/// time, so live runs and trace replays shed identically.
 SimSchedule RunEventSchedule(
     size_t n, size_t num_threads, size_t max_concurrent,
     const SchedulePolicyConfig& cfg, const std::vector<double>& arrival_msec,
-    AdmissionController* controller,
-    const std::function<QuantumOutcome(size_t)>& run_quantum,
+    AdmissionController* controller, const ServiceFaultSpec* faults,
+    const std::function<QuantumOutcome(size_t, double)>& run_quantum,
     const EventLoopHooks& hooks, size_t* peak_in_flight_out) {
   SimSchedule schedule;
   schedule.arrival_msec.assign(n, 0.0);
@@ -246,6 +274,9 @@ SimSchedule RunEventSchedule(
   schedule.finish_msec.assign(n, 0.0);
   schedule.queue_wait_msec.assign(n, 0.0);
   schedule.latency_msec.assign(n, 0.0);
+  schedule.outcome.assign(n, QueryOutcome::kOk);
+  schedule.attempts.assign(n, 1);
+  schedule.backoff_msec.assign(n, 0.0);
   if (n == 0) return schedule;
   NIPO_CHECK(num_threads > 0);
   NIPO_CHECK(max_concurrent > 0);
@@ -262,6 +293,7 @@ SimSchedule RunEventSchedule(
     uint64_t seq = 0;
     size_t query = 0;
     bool done = false;
+    QuantumFate fate = QuantumFate::kNormal;
     /// The completed quantum, for the controller's feedback.
     double duration_msec = 0;
     uint64_t evictions_suffered = 0;
@@ -288,6 +320,21 @@ SimSchedule RunEventSchedule(
   size_t peak_in_flight = 0;
   uint64_t seq = 0;
 
+  // Fault-mode state: retry budget, per-query scheduled service time
+  // (the shedder's calibration basis — identical between a live run and
+  // its replay, unlike machine time, which stalls inflate away from the
+  // schedule), and the admission shedder.
+  const size_t max_attempts =
+      faults != nullptr ? std::max<size_t>(1, faults->retry.max_attempts) : 1;
+  auto deadline_of = [&](size_t q) {
+    return faults != nullptr && q < faults->deadline_msec.size()
+               ? faults->deadline_msec[q]
+               : 0.0;
+  };
+  std::vector<double> service_msec(n, 0.0);
+  DeadlineShedder shedder;
+  const bool shedding = faults != nullptr && faults->shed_deadline;
+
   // Arrival schedules are non-decreasing in query index, so releasing in
   // index order keeps `pending` in spec order — the same order the
   // closed queue starts from.
@@ -306,6 +353,25 @@ SimSchedule RunEventSchedule(
           PickNextAdmission(pending, cfg, in_flight, hooks.live_footprint);
       if (pos == kNoPick) break;
       const size_t query = pending[pos];
+      // Deadline-aware shedding: a pick predicted to miss its deadline
+      // is rejected here — early, before it claims a machine — instead
+      // of being admitted only to die at a vector boundary later.
+      if (shedding &&
+          shedder.ShouldShed(now, schedule.arrival_msec[query],
+                             deadline_of(query), TaskWork(cfg, query),
+                             in_flight.size(), num_threads)) {
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pos));
+        started[query] = true;
+        schedule.start_msec[query] = now;
+        schedule.finish_msec[query] = now;
+        schedule.queue_wait_msec[query] =
+            now - schedule.arrival_msec[query];
+        schedule.latency_msec[query] = schedule.queue_wait_msec[query];
+        schedule.makespan_msec = std::max(schedule.makespan_msec, now);
+        schedule.outcome[query] = QueryOutcome::kShed;
+        schedule.attempts[query] = 0;
+        continue;
+      }
       pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pos));
       if (hooks.on_admit != nullptr) hooks.on_admit(query);
       in_flight.push_back(query);
@@ -324,9 +390,9 @@ SimSchedule RunEventSchedule(
         started[entry.query] = true;
         schedule.start_msec[entry.query] = start;
       }
-      const QuantumOutcome out = run_quantum(entry.query);
+      const QuantumOutcome out = run_quantum(entry.query, start);
       running.push({start + out.duration_msec, seq++, entry.query, out.done,
-                    out.duration_msec, out.evictions_suffered,
+                    out.fate, out.duration_msec, out.evictions_suffered,
                     out.occupancy_lines});
     }
   };
@@ -349,10 +415,49 @@ SimSchedule RunEventSchedule(
     const Event event = running.top();
     running.pop();
     free_workers.push(event.time);
-    if (event.done) {
+    service_msec[event.query] += event.duration_msec;
+    // Resolve the quantum's fate: completion (with which outcome), a
+    // retry after backoff, or a plain yield back to the ready queue.
+    bool complete = false;
+    QueryOutcome outcome = QueryOutcome::kOk;
+    switch (event.fate) {
+      case QuantumFate::kNormal:
+        complete = event.done;
+        break;
+      case QuantumFate::kTransientFault:
+        if (schedule.attempts[event.query] < max_attempts) {
+          // Capped exponential backoff in simulated time: the query
+          // keeps its admission slot but re-enters the ready queue only
+          // at fail time + backoff, restarting from scratch.
+          const double backoff = RetryBackoffMsec(
+              faults->retry, schedule.attempts[event.query]);
+          ++schedule.attempts[event.query];
+          schedule.backoff_msec[event.query] += backoff;
+          if (hooks.on_retry != nullptr) hooks.on_retry(event.query);
+          ready.push_back({event.query, event.time + backoff});
+        } else {
+          complete = true;
+          outcome = QueryOutcome::kFailed;
+        }
+        break;
+      case QuantumFate::kHardFault:
+        complete = true;
+        outcome = QueryOutcome::kFailed;
+        break;
+      case QuantumFate::kDeadline:
+        complete = true;
+        outcome = QueryOutcome::kDeadlineExceeded;
+        break;
+      case QuantumFate::kCancel:
+        complete = true;
+        outcome = QueryOutcome::kCancelled;
+        break;
+    }
+    if (complete) {
       schedule.finish_msec[event.query] = event.time;
       // The latency decomposition, exact by construction: queue wait
-      // (arrival -> first dispatch) plus in-service span.
+      // (arrival -> first dispatch) plus in-service span (which in turn
+      // splits into backoff_msec of waiting and execution).
       schedule.queue_wait_msec[event.query] =
           schedule.start_msec[event.query] -
           schedule.arrival_msec[event.query];
@@ -360,10 +465,15 @@ SimSchedule RunEventSchedule(
           schedule.queue_wait_msec[event.query] +
           (event.time - schedule.start_msec[event.query]);
       schedule.makespan_msec = std::max(schedule.makespan_msec, event.time);
+      schedule.outcome[event.query] = outcome;
       in_flight.erase(
           std::find(in_flight.begin(), in_flight.end(), event.query));
+      if (shedding && outcome == QueryOutcome::kOk) {
+        shedder.OnQueryDone(service_msec[event.query],
+                            TaskWork(cfg, event.query));
+      }
       if (hooks.on_complete != nullptr) hooks.on_complete(event.query);
-    } else {
+    } else if (event.fate == QuantumFate::kNormal) {
       ready.push_back({event.query, event.time});
     }
     if (controller != nullptr) {
@@ -371,10 +481,11 @@ SimSchedule RunEventSchedule(
                             event.evictions_suffered, event.occupancy_lines,
                             in_flight.size(), pending.size());
     }
-    // Completions always free an admission slot; with a controller, a
-    // non-done quantum can also raise the limit, so re-check admission
-    // after every event.
-    if (event.done || controller != nullptr) admit(event.time);
+    // Completions always free an admission slot — including kills and
+    // failures, whose final quantum has done == false; with a
+    // controller, a non-done quantum can also raise the limit, so
+    // re-check admission after every event.
+    if (complete || event.done || controller != nullptr) admit(event.time);
     dispatch();
   }
   if (peak_in_flight_out != nullptr) *peak_in_flight_out = peak_in_flight;
@@ -415,6 +526,16 @@ WorkloadReport AssembleReport(const std::vector<WorkloadTask>& tasks,
     }
     q.shared_l3_peak_occupancy_lines = run.peak_occupancy_lines;
     q.shared_l3_final_occupancy_lines = run.final_occupancy_lines;
+    q.outcome = run.outcome;
+    q.attempts = run.attempts;
+    q.sim_backoff_msec = run.backoff_msec;
+    q.error = run.error;
+    q.quantum_fate = std::move(run.quantum_fate);
+    if (run.exec == nullptr) {
+      // Shed at admission: never dispatched, no machine, no execution
+      // state — the row carries the outcome and nothing else.
+      continue;
+    }
     if (run.optimizer != nullptr) {
       ProgressiveReport prog = run.optimizer->Finish(std::move(run.drive));
       q.drive = std::move(prog.drive);
@@ -457,6 +578,51 @@ void ApplySchedule(const SimSchedule& schedule, WorkloadReport* report) {
           : 0.0;
   report->latency = latency.Summary();
   report->queue_wait = queue_wait.Summary();
+  // Outcome census and the goodput headline (completed-OK queries per
+  // simulated second). Fault-free runs count everything as kOk, making
+  // goodput == sim_queries_per_sec.
+  for (const WorkloadQueryReport& q : report->queries) {
+    switch (q.outcome) {
+      case QueryOutcome::kOk:
+        ++report->queries_ok;
+        break;
+      case QueryOutcome::kDeadlineExceeded:
+        ++report->queries_deadline_exceeded;
+        break;
+      case QueryOutcome::kCancelled:
+        ++report->queries_cancelled;
+        break;
+      case QueryOutcome::kFailed:
+        ++report->queries_failed;
+        break;
+      case QueryOutcome::kShed:
+        ++report->queries_shed;
+        break;
+    }
+    if (q.attempts > 1) report->total_retries += q.attempts - 1;
+    report->total_backoff_msec += q.sim_backoff_msec;
+  }
+  report->sim_goodput_qps =
+      report->sim_makespan_msec > 0
+          ? static_cast<double>(report->queries_ok) /
+                (report->sim_makespan_msec / 1e3)
+          : 0.0;
+}
+
+/// True iff the run needs the fault-tolerant event-driven path: any
+/// enabled fault plan, retry budget, shedding, or per-task deadline /
+/// cancellation point. False keeps fault-free runs on their existing
+/// paths, byte-for-byte.
+bool FaultModeRequested(const WorkloadOptions& options,
+                        const std::vector<WorkloadTask>& tasks) {
+  if (options.faults.enabled() || options.retry.max_attempts > 1 ||
+      options.shed_deadline) {
+    return true;
+  }
+  for (const WorkloadTask& task : tasks) {
+    if (task.sim_deadline_msec > 0 || task.sim_cancel_msec > 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -475,7 +641,7 @@ SimSchedule SimulateWorkloadSchedule(
   if (n == 0) return SimSchedule{};
   NIPO_CHECK(config.tasks.empty() || config.tasks.size() == n);
   std::vector<size_t> next_quantum(n, 0);
-  auto run_quantum = [&](size_t q) {
+  auto run_quantum = [&](size_t q, double /*start_msec*/) {
     QuantumOutcome out;
     out.duration_msec = next_quantum[q] < quantum_msec[q].size()
                             ? quantum_msec[q][next_quantum[q]]
@@ -486,14 +652,15 @@ SimSchedule SimulateWorkloadSchedule(
   };
   return RunEventSchedule(n, num_threads, max_concurrent, config,
                           /*arrival_msec=*/{}, /*controller=*/nullptr,
-                          run_quantum, EventLoopHooks{}, nullptr);
+                          /*faults=*/nullptr, run_quantum, EventLoopHooks{},
+                          nullptr);
 }
 
 SimSchedule SimulateWorkloadSchedule(
     const std::vector<std::vector<QuantumTrace>>& quanta,
     const std::vector<double>& arrival_msec, size_t num_threads,
     size_t max_concurrent, const SchedulePolicyConfig& config,
-    const AdaptiveAdmissionSpec* adaptive) {
+    const AdaptiveAdmissionSpec* adaptive, const ServiceFaultSpec* faults) {
   const size_t n = quanta.size();
   if (n == 0) return SimSchedule{};
   NIPO_CHECK(config.tasks.empty() || config.tasks.size() == n);
@@ -503,20 +670,23 @@ SimSchedule SimulateWorkloadSchedule(
         n, max_concurrent, adaptive->l3_capacity_lines, adaptive->config);
   }
   std::vector<size_t> next_quantum(n, 0);
-  auto run_quantum = [&](size_t q) {
+  auto run_quantum = [&](size_t q, double /*start_msec*/) {
     QuantumOutcome out;
     if (next_quantum[q] < quanta[q].size()) {
       out.duration_msec = quanta[q][next_quantum[q]].duration_msec;
       out.evictions_suffered = quanta[q][next_quantum[q]].evictions_suffered;
       out.occupancy_lines = quanta[q][next_quantum[q]].occupancy_lines;
+      // The recorded fate replays where the attempt ended; the event loop
+      // reconstructs the backoff from the RetryPolicy alone.
+      out.fate = quanta[q][next_quantum[q]].fate;
     }
     ++next_quantum[q];
     out.done = next_quantum[q] >= quanta[q].size();
     return out;
   };
   return RunEventSchedule(n, num_threads, max_concurrent, config, arrival_msec,
-                          controller.get(), run_quantum, EventLoopHooks{},
-                          nullptr);
+                          controller.get(), faults, run_quantum,
+                          EventLoopHooks{}, nullptr);
 }
 
 WorkloadDriver::WorkloadDriver(const Pmu& prototype, ExecutorFactory factory,
@@ -587,6 +757,36 @@ Result<WorkloadReport> WorkloadDriver::Run(
       return Status::InvalidArgument("admission epoch_quanta must be positive");
     }
   }
+  if (options_.faults.transient_fault_rate < 0 ||
+      options_.faults.transient_fault_rate > 1) {
+    return Status::InvalidArgument("transient_fault_rate must be in [0, 1]");
+  }
+  if (options_.faults.stall_rate < 0 || options_.faults.stall_rate > 1) {
+    return Status::InvalidArgument("stall_rate must be in [0, 1]");
+  }
+  if (options_.faults.stall_rate > 0 && !(options_.faults.stall_factor >= 1)) {
+    return Status::InvalidArgument("stall_factor must be >= 1");
+  }
+  if (options_.retry.max_attempts == 0) {
+    return Status::InvalidArgument("retry max_attempts must be positive");
+  }
+  if (options_.retry.max_attempts > 1) {
+    if (options_.retry.backoff_base_msec < 0) {
+      return Status::InvalidArgument("backoff_base_msec must be >= 0");
+    }
+    if (options_.retry.backoff_cap_msec < options_.retry.backoff_base_msec) {
+      return Status::InvalidArgument(
+          "backoff_cap_msec must be >= backoff_base_msec");
+    }
+  }
+  for (const WorkloadTask& task : tasks) {
+    if (task.sim_deadline_msec < 0) {
+      return Status::InvalidArgument("sim_deadline_msec must be >= 0");
+    }
+    if (task.sim_cancel_msec < 0) {
+      return Status::InvalidArgument("sim_cancel_msec must be >= 0");
+    }
+  }
 
   const size_t n = tasks.size();
   // Validation pass: compile every task against a scratch machine and
@@ -605,11 +805,13 @@ Result<WorkloadReport> WorkloadDriver::Run(
   }
 
   // Anything that shapes execution or feedback through the schedule —
-  // shared-L3 contention, open-loop arrivals, the adaptive limit — runs
-  // inside the deterministic event loop. The plain closed queue keeps
-  // the PR-4 threaded pool below, byte-for-byte.
+  // shared-L3 contention, open-loop arrivals, the adaptive limit, fault
+  // injection / deadlines / retry — runs inside the deterministic event
+  // loop. The plain closed queue keeps the PR-4 threaded pool below,
+  // byte-for-byte.
   if (options_.contention || options_.adaptive_admission ||
-      options_.arrival.kind != ArrivalKind::kClosed) {
+      options_.arrival.kind != ArrivalKind::kClosed ||
+      FaultModeRequested(options_, tasks)) {
     return RunEventDriven(tasks);
   }
 
@@ -700,7 +902,17 @@ Result<WorkloadReport> WorkloadDriver::Run(
       run->quantum_msec.push_back(run->pmu->ToMilliseconds(quantum.Delta()));
       run->touched_workers[worker_id] = 1;
       ++run->quanta;
-      const bool done = run->next_row >= rows;
+      // Runtime data errors latch on the executor (exec/pipeline.h)
+      // instead of aborting; a latched query stops here and reports
+      // kFailed with its partial progress.
+      const bool failed = !run->exec->error().ok();
+      if (failed) {
+        run->outcome = QueryOutcome::kFailed;
+        run->error = run->exec->error();
+      }
+      run->quantum_fate.push_back(failed ? QuantumFate::kHardFault
+                                         : QuantumFate::kNormal);
+      const bool done = failed || run->next_row >= rows;
       if (done) {
         // Close the full-run window, exactly like the solo drivers.
         run->drive.num_vectors = run->vector_index;
@@ -786,6 +998,25 @@ Result<WorkloadReport> WorkloadDriver::RunEventDriven(
         n, options_.max_concurrent,
         domain != nullptr ? domain->capacity_lines() : 0, options_.admission);
   }
+  // Fault mode (DESIGN.md Section 9): the spec handed to the event loop
+  // (retry budget, deadlines, shedding switch) plus the live fault-draw
+  // coordinates. Null/absent when no fault feature is requested, keeping
+  // the fault-free event paths byte-identical to PR 5-7.
+  const bool fault_mode = FaultModeRequested(options_, tasks);
+  ServiceFaultSpec fault_spec;
+  if (fault_mode) {
+    fault_spec.retry = options_.retry;
+    fault_spec.shed_deadline = options_.shed_deadline;
+    fault_spec.deadline_msec.resize(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      fault_spec.deadline_msec[i] = tasks[i].sim_deadline_msec;
+    }
+  }
+  const size_t max_attempts =
+      fault_mode ? std::max<size_t>(1, options_.retry.max_attempts) : 1;
+  std::vector<size_t> attempt_no(n, 0);
+  std::vector<size_t> quantum_in_attempt(n, 0);
+  constexpr double kNoKill = std::numeric_limits<double>::infinity();
 
   const size_t num_slots = options_.max_concurrent;
   std::vector<QueryRun> runs(n);
@@ -832,6 +1063,45 @@ Result<WorkloadReport> WorkloadDriver::RunEventDriven(
   hooks.on_complete = [&](size_t index) {
     free_slots.push_back(runs[index].slot);
   };
+  hooks.on_retry = [&](size_t index) {
+    // A transient fault is being retried: the query restarts from
+    // scratch. The failed attempt's machine state is discarded (fresh
+    // clone in deterministic mode; counter reset on the warm slot
+    // machine), the pipeline recompiles, and a progressive query gets a
+    // fresh optimizer — exactly the admission sequence, minus the slot
+    // bookkeeping (the query keeps its slot through the backoff).
+    QueryRun& run = runs[index];
+    ++attempt_no[index];
+    quantum_in_attempt[index] = 0;
+    run.error = Status::OK();
+    if (domain != nullptr) run.pmu->AttachSharedL3(nullptr, 0);
+    if (options_.deterministic) {
+      run.owned_pmu = std::make_unique<Pmu>(prototype_.CloneFresh());
+      run.pmu = run.owned_pmu.get();
+    } else {
+      run.pmu->ResetCounters();
+    }
+    if (domain != nullptr) {
+      run.pmu->AttachSharedL3(domain.get(), static_cast<uint32_t>(index));
+    }
+    auto exec = factory_(index, run.pmu);
+    NIPO_CHECK(exec.ok());  // the validation pass proved this compiles
+    run.exec = std::move(exec.ValueOrDie());
+    if (run.task->initial_order.has_value()) {
+      NIPO_CHECK(run.exec->Reorder(*run.task->initial_order).ok());
+    }
+    if (run.task->progressive) {
+      run.optimizer = std::make_unique<ProgressiveOptimizer>(run.exec.get(),
+                                                             run.task->config);
+      run.optimizer->Begin();
+    } else {
+      run.optimizer.reset();
+    }
+    run.run_begin = run.pmu->Read();
+    run.next_row = 0;
+    run.vector_index = 0;
+    run.drive = DriveResult{};
+  };
   if (domain != nullptr) {
     hooks.live_footprint = [&domain](size_t index) -> uint64_t {
       return domain->stats(static_cast<uint32_t>(index)).occupancy_lines *
@@ -844,15 +1114,76 @@ Result<WorkloadReport> WorkloadDriver::RunEventDriven(
   // are reusable capacity, not a crowding signal.
   std::vector<uint32_t> finished_owners;
 
-  auto run_quantum = [&](size_t index) -> QuantumOutcome {
+  auto run_quantum = [&](size_t index, double start) -> QuantumOutcome {
     QueryRun& run = runs[index];
-    const CounterWindow quantum(run.pmu);
-    const size_t rows = run.exec->num_rows();
-    for (size_t b = 0; b < options_.burst_vectors && run.next_row < rows;
-         ++b) {
-      ExecuteOneVector(&run);
-    }
     QuantumOutcome out;
+    const size_t rows = run.exec->num_rows();
+    // Fault draws are pure functions of (seed, query, attempt, quantum)
+    // — schedule-independent, so every admission limit, worker count and
+    // rerun sees the identical per-query fault sequence.
+    FaultDraw draw;
+    if (fault_mode && options_.faults.enabled()) {
+      draw = DrawFault(options_.faults, index, attempt_no[index],
+                       quantum_in_attempt[index]);
+    }
+    const double arrival = arrivals.empty() ? 0.0 : arrivals[index];
+    const double deadline_at = tasks[index].sim_deadline_msec > 0
+                                   ? arrival + tasks[index].sim_deadline_msec
+                                   : kNoKill;
+    const double cancel_at =
+        tasks[index].sim_cancel_msec > 0 ? tasks[index].sim_cancel_msec
+                                         : kNoKill;
+    const CounterWindow quantum(run.pmu);
+    if (deadline_at < kNoKill || cancel_at < kNoKill) {
+      // Cooperative kill checks at every vector boundary, against
+      // *scheduled* time: the quantum's dispatch instant plus the
+      // (stall-scaled) simulated time of the vectors run so far. The
+      // per-vector windows only read counters, so the whole-quantum
+      // window below still yields the exact duration it always did.
+      double elapsed = 0;
+      for (size_t b = 0; b < options_.burst_vectors && run.next_row < rows;
+           ++b) {
+        const double now = start + elapsed;
+        if (now >= cancel_at) {
+          out.fate = QuantumFate::kCancel;
+          break;
+        }
+        if (now >= deadline_at) {
+          out.fate = QuantumFate::kDeadline;
+          break;
+        }
+        const CounterWindow vec(run.pmu);
+        ExecuteOneVector(&run);
+        if (!run.exec->error().ok()) break;  // latched; resolved below
+        double vec_msec = run.pmu->ToMilliseconds(vec.Delta());
+        if (draw.stall) vec_msec *= options_.faults.stall_factor;
+        elapsed += vec_msec;
+      }
+    } else {
+      for (size_t b = 0; b < options_.burst_vectors && run.next_row < rows;
+           ++b) {
+        ExecuteOneVector(&run);
+        if (!run.exec->error().ok()) break;  // latched; resolved below
+      }
+    }
+    // Resolve the quantum's fate, in precedence order: a kill check
+    // above, else a latched runtime error, else the injected faults
+    // (poison over transient).
+    if (out.fate == QuantumFate::kNormal) {
+      if (!run.exec->error().ok()) {
+        out.fate = QuantumFate::kHardFault;
+        run.error = run.exec->error();
+      } else if (draw.poison) {
+        out.fate = QuantumFate::kHardFault;
+        run.error = Status::Internal("fault injection: poison query");
+      } else if (draw.transient) {
+        out.fate = QuantumFate::kTransientFault;
+        if (attempt_no[index] + 1 >= max_attempts) {
+          run.error =
+              Status::Internal("fault injection: retry budget exhausted");
+        }
+      }
+    }
     // One side-effect-free window per quantum (CounterWindow reads, never
     // resets): the duration feeds the schedule, the evictions feed the
     // adaptive controller, and both are recorded as the quantum's replay
@@ -862,13 +1193,31 @@ Result<WorkloadReport> WorkloadDriver::RunEventDriven(
     // quantum boundaries (asserted in tests/service_mode_test.cc).
     const PmuCounters delta = quantum.Delta();
     out.duration_msec = run.pmu->ToMilliseconds(delta);
+    // A stalled quantum occupies its worker stall_factor times longer in
+    // the schedule; the machine counters are untouched (the work did not
+    // change — the worker was slow), so the inflation lives purely in
+    // the recorded duration, which is also what the replay consumes.
+    if (draw.stall) out.duration_msec *= options_.faults.stall_factor;
     out.evictions_suffered = delta.l3_evictions_suffered;
     run.quantum_msec.push_back(out.duration_msec);
     run.quantum_evictions.push_back(out.evictions_suffered);
+    run.quantum_fate.push_back(out.fate);
     run.touched_workers[0] = 1;
     ++run.quanta;
+    ++quantum_in_attempt[index];
     out.done = run.next_row >= rows;
-    if (out.done) {
+    // The full-run counter window closes when the query leaves the
+    // machine for good: normal completion, any kill or hard fault, or a
+    // transient fault with no retry budget left. (A retried attempt
+    // instead resets the whole execution state in hooks.on_retry.)
+    const bool terminal =
+        (out.fate == QuantumFate::kNormal && out.done) ||
+        out.fate == QuantumFate::kHardFault ||
+        out.fate == QuantumFate::kDeadline ||
+        out.fate == QuantumFate::kCancel ||
+        (out.fate == QuantumFate::kTransientFault &&
+         attempt_no[index] + 1 >= max_attempts);
+    if (terminal) {
       run.drive.num_vectors = run.vector_index;
       run.drive.total = run.pmu->Read() - run.run_begin;
       run.drive.simulated_msec = run.pmu->ToMilliseconds(run.drive.total);
@@ -911,11 +1260,19 @@ Result<WorkloadReport> WorkloadDriver::RunEventDriven(
   const auto wall_start = std::chrono::steady_clock::now();
   const SimSchedule schedule = RunEventSchedule(
       n, options_.num_threads, options_.max_concurrent, policy_cfg, arrivals,
-      controller.get(), run_quantum, hooks, &peak_in_flight);
+      controller.get(), fault_mode ? &fault_spec : nullptr, run_quantum, hooks,
+      &peak_in_flight);
   const double wall_msec = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - wall_start)
                                .count();
 
+  // The loop owns the terminal outcomes (it decides retries, kills and
+  // shedding); fold them into the runs before report assembly.
+  for (size_t i = 0; i < n; ++i) {
+    runs[i].outcome = schedule.outcome[i];
+    runs[i].attempts = schedule.attempts[i];
+    runs[i].backoff_msec = schedule.backoff_msec[i];
+  }
   WorkloadReport report =
       AssembleReport(tasks, &runs, options_, wall_msec, peak_in_flight);
   ApplySchedule(schedule, &report);

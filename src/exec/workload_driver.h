@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "exec/admission.h"
 #include "exec/arrival.h"
+#include "exec/faults.h"
 #include "exec/latency.h"
 #include "exec/pipeline.h"
 #include "exec/vector_driver.h"
@@ -89,6 +90,16 @@ struct WorkloadTask {
   /// the bytes this query re-references and would like to keep in L3.
   /// The facade fills it from the cache cost model.
   uint64_t footprint_bytes = 0;
+  /// Simulated deadline relative to arrival (0 = none). A query past its
+  /// deadline is killed cooperatively at the next vector boundary
+  /// (QueryOutcome::kDeadlineExceeded) with its partial-progress counters
+  /// kept; with WorkloadOptions::shed_deadline it may instead be shed at
+  /// admission. Deadlines route the run through the event-driven path.
+  double sim_deadline_msec = 0;
+  /// Absolute simulated cancellation instant (0 = none): the query is
+  /// killed cooperatively at the first vector boundary at or past this
+  /// time (QueryOutcome::kCancelled) — a user abort in simulated time.
+  double sim_cancel_msec = 0;
 };
 
 /// \brief Admission-control policy of the workload scheduler. Policies
@@ -172,6 +183,34 @@ struct WorkloadOptions {
   bool adaptive_admission = false;
   /// Thresholds and cadence of the adaptive controller.
   AdmissionConfig admission;
+  /// Seeded fault injection (exec/faults.h; DESIGN.md Section 9). The
+  /// default plan injects nothing and leaves every execution path —
+  /// threaded pool and event loop — byte-identical to a fault-free
+  /// build. Any enabled plan routes the run through the event-driven
+  /// path, where fault timing is part of the deterministic schedule.
+  FaultPlan faults;
+  /// Retry policy for transient (retryable) faults: capped exponential
+  /// backoff in simulated time. max_attempts = 1 (default) disables
+  /// retry.
+  RetryPolicy retry;
+  /// Deadline-aware admission shedding (DeadlineShedder, exec/
+  /// admission.h): once calibrated by completed queries, admission picks
+  /// predicted to miss their deadline are rejected as
+  /// QueryOutcome::kShed instead of burning worker time and dying at a
+  /// vector boundary.
+  bool shed_deadline = false;
+};
+
+/// \brief How one scheduling quantum ended (recorded per quantum in the
+/// replay trace). kNormal quanta either complete the query or yield it
+/// back to the ready queue; every other fate ends the current *attempt*
+/// at the quantum's completion event.
+enum class QuantumFate : uint8_t {
+  kNormal = 0,          ///< ran its burst (or finished the query)
+  kTransientFault = 1,  ///< retryable failure at the quantum's end
+  kHardFault = 2,       ///< non-retryable failure (poison / runtime error)
+  kDeadline = 3,        ///< killed at a vector boundary past the deadline
+  kCancel = 4,          ///< killed at a vector boundary past the cancel point
 };
 
 /// \brief Per-query outcome of a workload execution.
@@ -222,6 +261,23 @@ struct WorkloadQueryReport {
   /// contention=off.
   uint64_t shared_l3_peak_occupancy_lines = 0;
   uint64_t shared_l3_final_occupancy_lines = 0;
+  /// Terminal state of the query (exec/faults.h). Anything but kOk means
+  /// `drive` holds the partial progress of the final attempt (counters
+  /// and tuples accrued before the kill/failure; zero for kShed).
+  QueryOutcome outcome = QueryOutcome::kOk;
+  /// Execution attempts started (1 without faults; 0 for shed queries).
+  size_t attempts = 1;
+  /// Total simulated backoff wait between failed attempts; part of the
+  /// latency decomposition:
+  ///   sim_latency = sim_queue_wait + sim_backoff + in-service time.
+  double sim_backoff_msec = 0;
+  /// The error behind a kFailed outcome (OK otherwise).
+  Status error;
+  /// Per-quantum fates (parallel to quantum_msec): with it, the recorded
+  /// quanta form the complete fault-mode QuantumTrace replay input —
+  /// fates mark where attempts ended, and the replay reconstructs retry
+  /// backoffs from the RetryPolicy alone.
+  std::vector<QuantumFate> quantum_fate;
 };
 
 /// \brief Aggregate outcome of a workload execution.
@@ -268,6 +324,19 @@ struct WorkloadReport {
   size_t admission_min_limit = 0;
   size_t admission_increases = 0;
   size_t admission_decreases = 0;
+  /// Outcome census (sums to queries.size()) and the goodput headline:
+  /// completed-OK queries per simulated second. Fault-free runs have
+  /// queries_ok == queries.size() and goodput == sim_queries_per_sec.
+  size_t queries_ok = 0;
+  size_t queries_failed = 0;
+  size_t queries_deadline_exceeded = 0;
+  size_t queries_cancelled = 0;
+  size_t queries_shed = 0;
+  double sim_goodput_qps = 0;
+  /// Retry totals: attempts beyond each query's first, and the summed
+  /// simulated backoff waits.
+  size_t total_retries = 0;
+  double total_backoff_msec = 0;
 };
 
 /// \brief The deterministic simulated schedule of a workload, replayed
@@ -283,6 +352,13 @@ struct SimSchedule {
   /// exact in floating point by construction.
   std::vector<double> latency_msec;
   double makespan_msec = 0;
+  /// Fault-mode outputs (all-kOk / all-1 / all-0 without faults): the
+  /// terminal outcome, attempts started, and total simulated backoff per
+  /// query. A live run and its trace replay must agree on these exactly
+  /// (tests/service_faults_test.cc).
+  std::vector<QueryOutcome> outcome;
+  std::vector<size_t> attempts;
+  std::vector<double> backoff_msec;
 };
 
 /// \brief Static per-query inputs of a policy-aware schedule replay
@@ -328,6 +404,10 @@ struct QuantumTrace {
   double duration_msec = 0;
   uint64_t evictions_suffered = 0;
   uint64_t occupancy_lines = 0;
+  /// How the quantum ended (QuantumFate::kNormal outside fault mode).
+  /// Fates mark where attempts ended, making retries replayable without
+  /// redrawing faults.
+  QuantumFate fate = QuantumFate::kNormal;
 };
 
 /// \brief Adaptive-admission inputs of a schedule replay: the controller
@@ -338,17 +418,39 @@ struct AdaptiveAdmissionSpec {
   uint64_t l3_capacity_lines = 0;
 };
 
+/// \brief Fault-mode inputs of a schedule replay (DESIGN.md Section 9):
+/// the retry policy behind recorded kTransientFault fates, the per-query
+/// deadlines (relative to arrival; 0 = none) and the shedding switch —
+/// everything the event loop needs to reconstruct retry backoffs and
+/// admission-shedding decisions exactly as the live run took them. The
+/// fault *events* themselves are not re-drawn: the recorded QuantumTrace
+/// fates already encode them.
+struct ServiceFaultSpec {
+  RetryPolicy retry;
+  /// Per-query deadline relative to arrival (empty = none anywhere).
+  std::vector<double> deadline_msec;
+  bool shed_deadline = false;
+};
+
 /// \brief Full service-mode overload: event-driven replay with arrivals
 /// (`arrival_msec[q]`, non-decreasing in q; empty means closed queue)
 /// and, when `adaptive` is non-null, an AdmissionController rebuilt from
 /// the recorded quantum traces, evolving the effective concurrency limit
 /// exactly as the live run did. With empty arrivals and null `adaptive`
 /// this is exactly the policy-aware overload above.
+///
+/// Fault mode: a non-null `faults` interprets the recorded QuantumTrace
+/// fates — kTransientFault quanta re-enter the ready queue after their
+/// reconstructed backoff (until the retry budget is spent), kill fates
+/// complete the query — and re-derives shedding, reproducing the live
+/// run's outcomes, attempts, backoff waits and timing bit-identically
+/// (shed queries carry empty traces and are never dispatched).
 SimSchedule SimulateWorkloadSchedule(
     const std::vector<std::vector<QuantumTrace>>& quanta,
     const std::vector<double>& arrival_msec, size_t num_threads,
     size_t max_concurrent, const SchedulePolicyConfig& config,
-    const AdaptiveAdmissionSpec* adaptive = nullptr);
+    const AdaptiveAdmissionSpec* adaptive = nullptr,
+    const ServiceFaultSpec* faults = nullptr);
 
 /// \brief Drives a multi-query workload over a shared worker pool.
 class WorkloadDriver {
