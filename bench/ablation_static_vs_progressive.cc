@@ -39,19 +39,22 @@ int main() {
                             static_cast<double>(li->num_rows())));
     NIPO_CHECK(stats.ok());
     const StaticPlan plan = PlanStatically(query.ops, stats.ValueOrDie());
-    auto static_run =
-        engine.ExecuteBaseline(query, kVectorSize, plan.order);
+    ExecOptions static_opt;
+    static_opt.vector_size = kVectorSize;
+    static_opt.order = plan.order;
+    auto static_run = engine.Execute(query, static_opt);
     NIPO_CHECK(static_run.ok());
 
-    ProgressiveConfig cfg;
-    cfg.vector_size = kVectorSize;
-    cfg.reopt_interval = 5;
-    auto prog = engine.ExecuteProgressive(query, cfg, plan.order);
+    ExecOptions prog_opt;
+    prog_opt.mode = ExecMode::kProgressive;
+    prog_opt.progressive.vector_size = kVectorSize;
+    prog_opt.progressive.reopt_interval = 5;
+    prog_opt.order = plan.order;
+    auto prog = engine.Execute(query, prog_opt);
     NIPO_CHECK(prog.ok());
 
-    const double static_ms =
-        static_run.ValueOrDie().drive.simulated_msec;
-    const double prog_ms = prog.ValueOrDie().drive.simulated_msec;
+    const double static_ms = static_run.ValueOrDie().simulated_msec;
+    const double prog_ms = prog.ValueOrDie().simulated_msec;
     table.AddRow({FormatDouble(sample_fraction * 100, 0) + "%",
                   FormatOrder(plan.order), FormatDouble(static_ms, 2),
                   FormatDouble(prog_ms, 2),

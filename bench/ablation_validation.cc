@@ -21,22 +21,25 @@ struct Outcome {
 
 Outcome RunSweep(const Engine& engine, const QuerySpec& query,
                  bool validate) {
-  ProgressiveConfig cfg;
-  cfg.vector_size = 512;
-  cfg.reopt_interval = 5;
-  cfg.validate_and_revert = validate;
+  ExecOptions options;
+  options.mode = ExecMode::kProgressive;
+  options.progressive.vector_size = 512;
+  options.progressive.reopt_interval = 5;
+  options.progressive.validate_and_revert = validate;
   Outcome out;
   const auto orders = AllOrders(query.ops.size());
   // Sample every 6th permutation to keep the sweep quick.
   size_t count = 0;
   for (size_t i = 0; i < orders.size(); i += 6) {
-    auto r = engine.ExecuteProgressive(query, cfg, orders[i]);
+    options.order = orders[i];
+    auto r = engine.Execute(query, options);
     NIPO_CHECK(r.ok());
-    const double ms = r.ValueOrDie().drive.simulated_msec;
+    const double ms = r.ValueOrDie().simulated_msec;
     out.avg_ms += ms;
     out.worst_ms = std::max(out.worst_ms, ms);
-    out.changes += r.ValueOrDie().changes.size();
-    for (const PeoChange& c : r.ValueOrDie().changes) {
+    const ProgressiveReport& prog = *r.ValueOrDie().progressive;
+    out.changes += prog.changes.size();
+    for (const PeoChange& c : prog.changes) {
       if (c.reverted) ++out.reverts;
     }
     ++count;

@@ -72,10 +72,13 @@ inline std::vector<double> PermutationSweep(const Engine& engine,
                                             const QuerySpec& query,
                                             size_t vector_size) {
   std::vector<double> ms;
+  ExecOptions options;
+  options.vector_size = vector_size;
   for (const auto& order : AllOrders(query.ops.size())) {
-    auto r = engine.ExecuteBaseline(query, vector_size, order);
+    options.order = order;
+    auto r = engine.Execute(query, options);
     NIPO_CHECK(r.ok());
-    ms.push_back(r.ValueOrDie().drive.simulated_msec);
+    ms.push_back(r.ValueOrDie().simulated_msec);
   }
   return ms;
 }
@@ -100,9 +103,9 @@ inline std::string PercentLabel(double fraction) {
 /// lower host wall time.
 inline WorkloadReport ExecuteWorkloadBestOf2(const Engine& engine,
                                              const WorkloadSpec& spec) {
-  auto first = engine.ExecuteWorkload(spec);
+  auto first = engine.Execute(spec);
   NIPO_CHECK(first.ok());
-  auto second = engine.ExecuteWorkload(spec);
+  auto second = engine.Execute(spec);
   NIPO_CHECK(second.ok());
   WorkloadReport& a = first.ValueOrDie();
   WorkloadReport& b = second.ValueOrDie();

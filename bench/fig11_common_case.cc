@@ -17,20 +17,25 @@ int main() {
   query.payload_columns = Q6PayloadColumns();
   const size_t kVectorSize = 2'048;  // ~147 vectors at this scale
 
-  ProgressiveConfig cfg;
-  cfg.vector_size = kVectorSize;
-  cfg.reopt_interval = 10;
+  ExecOptions base_opt;
+  base_opt.vector_size = kVectorSize;
+  ExecOptions prog_opt;
+  prog_opt.mode = ExecMode::kProgressive;
+  prog_opt.progressive.vector_size = kVectorSize;
+  prog_opt.progressive.reopt_interval = 10;
 
   struct Row {
     double base, optimized;
   };
   std::vector<Row> rows;
   for (const auto& order : AllOrders(5)) {
-    auto base = engine.ExecuteBaseline(query, kVectorSize, order);
-    auto prog = engine.ExecuteProgressive(query, cfg, order);
+    base_opt.order = order;
+    prog_opt.order = order;
+    auto base = engine.Execute(query, base_opt);
+    auto prog = engine.Execute(query, prog_opt);
     NIPO_CHECK(base.ok() && prog.ok());
-    rows.push_back({base.ValueOrDie().drive.simulated_msec,
-                    prog.ValueOrDie().drive.simulated_msec});
+    rows.push_back({base.ValueOrDie().simulated_msec,
+                    prog.ValueOrDie().simulated_msec});
   }
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.base < b.base; });

@@ -38,14 +38,16 @@ int main() {
 
     std::vector<double> row = {target * 100, base.min, base.avg, base.max};
     for (size_t interval : reop_intervals) {
-      ProgressiveConfig cfg;
-      cfg.vector_size = kVectorSize;
-      cfg.reopt_interval = interval;
+      ExecOptions options;
+      options.mode = ExecMode::kProgressive;
+      options.progressive.vector_size = kVectorSize;
+      options.progressive.reopt_interval = interval;
       double total = 0;
       for (const auto& order : starts) {
-        auto prog = engine.ExecuteProgressive(query, cfg, order);
+        options.order = order;
+        auto prog = engine.Execute(query, options);
         NIPO_CHECK(prog.ok());
-        total += prog.ValueOrDie().drive.simulated_msec;
+        total += prog.ValueOrDie().simulated_msec;
       }
       row.push_back(total / static_cast<double>(starts.size()));
     }

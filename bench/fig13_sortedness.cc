@@ -28,13 +28,15 @@ int main() {
     std::vector<std::vector<double>> prog(reop_intervals.size());
     const auto orders = AllOrders(5);
     for (size_t k = 0; k < reop_intervals.size(); ++k) {
-      ProgressiveConfig cfg;
-      cfg.vector_size = kVectorSize;
-      cfg.reopt_interval = reop_intervals[k];
+      ExecOptions options;
+      options.mode = ExecMode::kProgressive;
+      options.progressive.vector_size = kVectorSize;
+      options.progressive.reopt_interval = reop_intervals[k];
       for (const auto& order : orders) {
-        auto r = engine.ExecuteProgressive(query, cfg, order);
+        options.order = order;
+        auto r = engine.Execute(query, options);
         NIPO_CHECK(r.ok());
-        prog[k].push_back(r.ValueOrDie().drive.simulated_msec);
+        prog[k].push_back(r.ValueOrDie().simulated_msec);
       }
     }
 

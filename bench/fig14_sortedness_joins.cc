@@ -85,17 +85,19 @@ int main() {
                                "attr", CompareOp::kLt, 600.0}),
     };
 
-    auto sel_first =
-        engine.ExecuteBaseline(query, 8'192, std::vector<size_t>{0, 1});
-    auto join_first =
-        engine.ExecuteBaseline(query, 8'192, std::vector<size_t>{1, 0});
+    ExecOptions options;
+    options.vector_size = 8'192;
+    options.order = std::vector<size_t>{0, 1};
+    auto sel_first = engine.Execute(query, options);
+    options.order = std::vector<size_t>{1, 0};
+    auto join_first = engine.Execute(query, options);
     NIPO_CHECK(sel_first.ok() && join_first.ok());
-    const auto& s = sel_first.ValueOrDie().drive;
-    const auto& j = join_first.ValueOrDie().drive;
+    const ExecReport& s = sel_first.ValueOrDie();
+    const ExecReport& j = join_first.ValueOrDie();
     table.AddRow({d.label, FormatDouble(s.simulated_msec, 2),
                   FormatDouble(j.simulated_msec, 2),
-                  std::to_string(s.total.l3_misses),
-                  std::to_string(j.total.l3_misses),
+                  std::to_string(s.counters.l3_misses),
+                  std::to_string(j.counters.l3_misses),
                   j.simulated_msec < s.simulated_msec ? "yes" : "no"});
   }
   table.Print(std::cout);

@@ -55,18 +55,20 @@ int main() {
         OperatorSpec::FkProbe({"l_partkey", part, "p_retailprice",
                                CompareOp::kLe, part_value}),
     };
-    auto orders_first =
-        engine.ExecuteBaseline(query, 8'192, std::vector<size_t>{0, 1});
-    auto part_first =
-        engine.ExecuteBaseline(query, 8'192, std::vector<size_t>{1, 0});
+    ExecOptions options;
+    options.vector_size = 8'192;
+    options.order = std::vector<size_t>{0, 1};
+    auto orders_first = engine.Execute(query, options);
+    options.order = std::vector<size_t>{1, 0};
+    auto part_first = engine.Execute(query, options);
     NIPO_CHECK(orders_first.ok() && part_first.ok());
-    const auto& of = orders_first.ValueOrDie().drive;
-    const auto& pf = part_first.ValueOrDie().drive;
+    const ExecReport& of = orders_first.ValueOrDie();
+    const ExecReport& pf = part_first.ValueOrDie();
     NIPO_CHECK(of.qualifying_tuples == pf.qualifying_tuples);
     table.AddRow({std::to_string(pct), FormatDouble(of.simulated_msec, 2),
                   FormatDouble(pf.simulated_msec, 2),
-                  std::to_string(of.total.l3_misses),
-                  std::to_string(pf.total.l3_misses)});
+                  std::to_string(of.counters.l3_misses),
+                  std::to_string(pf.counters.l3_misses)});
   }
   table.Print(std::cout);
   std::cout

@@ -32,9 +32,11 @@ int main(int argc, char** argv) {
   query.payload_columns = Q6PayloadColumns();
   const size_t kMorselSize = 4'096;
 
-  auto reference = engine.ExecuteBaseline(query, kMorselSize);
+  ExecOptions solo;
+  solo.vector_size = kMorselSize;
+  auto reference = engine.Execute(query, solo);
   NIPO_CHECK(reference.ok());
-  const DriveResult& ref = reference.ValueOrDie().drive;
+  const ExecReport& ref = reference.ValueOrDie();
 
   TablePrinter table("Q6 thread scaling (baseline, morsel " +
                      std::to_string(kMorselSize) + ")");
@@ -43,18 +45,20 @@ int main(int argc, char** argv) {
   double wall_1 = 0, critical_1 = 0;
   JsonValue sweep = JsonValue::Array();
   for (size_t threads : {1u, 2u, 4u, 8u, 16u}) {
-    ParallelOptions options;
+    ExecOptions options;
+    options.driver = ExecDriver::kSharded;
     options.num_threads = threads;
-    options.morsel_size = kMorselSize;
-    auto run = engine.ExecuteBaselineParallel(query, options);
+    options.vector_size = kMorselSize;
+    auto run = engine.Execute(query, options);
     NIPO_CHECK(run.ok());
-    const ParallelDriveResult& drive = run.ValueOrDie().drive;
+    const ParallelDriveResult& drive =
+        run.ValueOrDie().sharded_baseline->drive;
     // Correctness first: the morsel-index-ordered merge must reproduce
     // the single-threaded result bit-identically at every thread count.
     NIPO_CHECK(drive.merged.qualifying_tuples == ref.qualifying_tuples);
     NIPO_CHECK(drive.merged.aggregate == ref.aggregate);
     if (threads == 1) {
-      NIPO_CHECK(drive.merged.total.cycles == ref.total.cycles);
+      NIPO_CHECK(drive.merged.total.cycles == ref.counters.cycles);
       wall_1 = drive.wall_msec;
       critical_1 = drive.merged.simulated_msec;
     }
@@ -82,14 +86,16 @@ int main(int argc, char** argv) {
   prog_table.SetHeader(
       {"threads", "wall msec", "critical msec", "reorders", "stale morsels"});
   for (size_t threads : {1u, 2u, 4u, 8u, 16u}) {
-    ProgressiveConfig config;
-    config.vector_size = kMorselSize;
-    config.reopt_interval = 10;
-    ParallelOptions options;
+    ExecOptions options;
+    options.mode = ExecMode::kProgressive;
+    options.driver = ExecDriver::kSharded;
     options.num_threads = threads;
-    auto run = engine.ExecuteProgressiveParallel(query, config, options);
+    options.progressive.vector_size = kMorselSize;
+    options.progressive.reopt_interval = 10;
+    auto run = engine.Execute(query, options);
     NIPO_CHECK(run.ok());
-    const ParallelProgressiveReport& report = run.ValueOrDie();
+    const ParallelProgressiveReport& report =
+        *run.ValueOrDie().sharded_progressive;
     NIPO_CHECK(report.drive.merged.qualifying_tuples ==
                ref.qualifying_tuples);
     NIPO_CHECK(report.drive.merged.aggregate == ref.aggregate);

@@ -109,11 +109,13 @@ int main(int argc, char** argv) {
 
   std::vector<ConfigResult> results;
   for (const Config& config : configs) {
-    BaselineReport batched_report, scalar_report;
+    ExecOptions options;
+    options.vector_size = kVectorSize;
+    ExecReport batched_report, scalar_report;
     engine.set_reporting_mode(ReportingMode::kBatched);
     const double batched_msec = WallMsec(
         [&] {
-          auto r = engine.ExecuteBaseline(config.query, kVectorSize);
+          auto r = engine.Execute(config.query, options);
           NIPO_CHECK(r.ok());
           batched_report = std::move(r.ValueOrDie());
         },
@@ -121,7 +123,7 @@ int main(int argc, char** argv) {
     engine.set_reporting_mode(ReportingMode::kScalar);
     const double scalar_msec = WallMsec(
         [&] {
-          auto r = engine.ExecuteBaseline(config.query, kVectorSize);
+          auto r = engine.Execute(config.query, options);
           NIPO_CHECK(r.ok());
           scalar_report = std::move(r.ValueOrDie());
         },
@@ -130,12 +132,11 @@ int main(int argc, char** argv) {
 
     // Correctness gate: the two reporting paths must agree bit-for-bit —
     // on the query result and on every PMU counter.
-    NIPO_CHECK(batched_report.drive.qualifying_tuples ==
-               scalar_report.drive.qualifying_tuples);
-    NIPO_CHECK(batched_report.drive.aggregate ==
-               scalar_report.drive.aggregate);
+    NIPO_CHECK(batched_report.qualifying_tuples ==
+               scalar_report.qualifying_tuples);
+    NIPO_CHECK(batched_report.aggregate == scalar_report.aggregate);
     const bool identical =
-        batched_report.drive.total == scalar_report.drive.total;
+        batched_report.counters == scalar_report.counters;
     NIPO_CHECK(identical);
 
     ConfigResult out;
@@ -146,7 +147,7 @@ int main(int argc, char** argv) {
     out.tuples_per_sec_batched =
         static_cast<double>(rows) / (batched_msec / 1e3);
     out.speedup = scalar_msec / batched_msec;
-    out.simulated_msec = batched_report.drive.simulated_msec;
+    out.simulated_msec = batched_report.simulated_msec;
     out.counters_identical = identical;
     results.push_back(out);
 

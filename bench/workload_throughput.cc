@@ -1,7 +1,7 @@
 /// \file workload_throughput.cc
 /// Multi-query workload throughput (DESIGN.md "Workload execution"): a
 /// mixed queue of Q6-shaped scans, FK-probe joins and SUM aggregates over
-/// a shared TPC-H database, executed through Engine::ExecuteWorkload
+/// a shared TPC-H database, executed through Engine::Execute(WorkloadSpec)
 /// while admission control widens from 1 (fully serial) to 8 in-flight
 /// queries on a fixed 4-worker pool.
 ///
@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
   std::vector<ConfigResult> results;
   for (const size_t max_concurrent : concurrency) {
     spec.options.max_concurrent = max_concurrent;
-    auto r = engine.ExecuteWorkload(spec);
+    auto r = engine.Execute(spec);
     NIPO_CHECK(r.ok());
     results.push_back({max_concurrent, std::move(r.ValueOrDie())});
   }

@@ -2,11 +2,12 @@
 # The tier-1 verify recipe, executable (and what .github/workflows/ci.yml
 # runs on every push/PR): lint -> configure -> build -> ctest twice
 # (1-thread and 8-thread driver configs via the NIPO_TEST_THREADS env
-# var), a perf-smoke run of the simulator-throughput, workload, and
-# SIMD-kernel benches (their correctness gates assert counter and kernel
-# bit-identity), one multi-gate perf-regression check against the
-# committed trajectory anchors, then the concurrency tests again under
-# ThreadSanitizer and the full suite under ASan+UBSan.
+# var), a perf-smoke run of the simulator-throughput, workload,
+# SIMD-kernel, and compressed-storage-scan benches (their correctness
+# gates assert counter, kernel, and plain-vs-encoded bit-identity), one
+# multi-gate perf-regression check against the committed trajectory
+# anchors, then the concurrency tests again under ThreadSanitizer and
+# the full suite under ASan+UBSan.
 #
 # Opt-outs (all default on): NIPO_LINT=0, NIPO_PERF_SMOKE=0 (also skips
 # the gate), NIPO_PERF_GATE=0, NIPO_TSAN=0, NIPO_ASAN=0.
@@ -30,6 +31,20 @@ if [[ "${NIPO_LINT:-1}" == "1" ]]; then
       | xargs -0 clang-format --dry-run -Werror
   else
     echo "== lint: clang-format not installed, skipping =="
+  fi
+
+  # Storage-access lint: executors and query references must scan through
+  # the ColumnView API (src/storage/column_view.h), never by downcasting
+  # to Column<T> — raw access bypasses zone maps, encoded-byte PMU
+  # booking, and the encodings-off bit-identity guarantee (DESIGN.md
+  # Section 10). bench/ and tests/ may still use typed columns to build
+  # fixtures; the executor tree and the Q1/Q6 reference oracles may not.
+  echo "== lint: no raw column access outside storage =="
+  if grep -RnE 'AsColumn<|->values\(\)|\.values\(\)|GetTypedColumn<|->data\(\)' \
+      src/exec src/tpch/q1.cc src/tpch/q6.cc; then
+    echo "lint: raw Column<T> access in the executor/reference tree" >&2
+    echo "lint: scan through ColumnView instead (storage/column_view.h)" >&2
+    exit 1
   fi
 fi
 
@@ -68,6 +83,9 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
   echo "== perf smoke: simd_kernels =="
   "$BUILD_DIR"/bench/simd_kernels --quick \
       --json="$BUILD_DIR"/BENCH_simd_kernels.json
+  echo "== perf smoke: storage_scan =="
+  "$BUILD_DIR"/bench/storage_scan --quick \
+      --json="$BUILD_DIR"/BENCH_storage_scan.json
 
   # Perf-regression gate, one invocation over every (anchor, metric)
   # pair: smoke throughput must stay within a generous factor of the
@@ -87,6 +105,7 @@ if [[ "${NIPO_PERF_SMOKE:-1}" == "1" ]]; then
         --gate "BENCH_workload_contention.json:$BUILD_DIR/BENCH_workload_contention.json:sim_queries_per_sec"
         --gate "BENCH_service_latency.json:$BUILD_DIR/BENCH_service_latency.json:sim_queries_per_sec"
         --gate "BENCH_service_faults.json:$BUILD_DIR/BENCH_service_faults.json:sim_goodput_qps"
+        --gate "BENCH_storage_scan.json:$BUILD_DIR/BENCH_storage_scan.json:sim_tuples_per_sec"
       )
       if [[ "$NIPO_SIMD" != "OFF" ]]; then
         GATES+=(--gate "BENCH_simd_kernels.json:$BUILD_DIR/BENCH_simd_kernels.json:tuples_per_sec_simd")

@@ -53,22 +53,26 @@ int main() {
   for (const auto& [name, order] :
        std::vector<std::pair<std::string, std::vector<size_t>>>{
            {"fixed x-first", {0, 1}}, {"fixed y-first", {1, 0}}}) {
-    auto r = engine.ExecuteBaseline(query, 8'192, order);
+    ExecOptions options;
+    options.vector_size = 8'192;
+    options.order = order;
+    auto r = engine.Execute(query, options);
     NIPO_CHECK(r.ok());
-    out.AddRow({name, FormatDouble(r.ValueOrDie().drive.simulated_msec, 2)});
+    out.AddRow({name, FormatDouble(r.ValueOrDie().simulated_msec, 2)});
   }
-  ProgressiveConfig config;
-  config.vector_size = 8'192;
-  config.reopt_interval = 3;
-  auto prog = engine.ExecuteProgressive(query, config);
+  ExecOptions prog_options;
+  prog_options.mode = ExecMode::kProgressive;
+  prog_options.progressive.vector_size = 8'192;
+  prog_options.progressive.reopt_interval = 3;
+  auto prog = engine.Execute(query, prog_options);
   NIPO_CHECK(prog.ok());
+  const ProgressiveReport& trace = *prog.ValueOrDie().progressive;
   out.AddRow({"progressive",
-              FormatDouble(prog.ValueOrDie().drive.simulated_msec, 2)});
+              FormatDouble(prog.ValueOrDie().simulated_msec, 2)});
   out.Print(std::cout);
 
-  std::printf("order changes over %zu vectors:\n",
-              prog.ValueOrDie().drive.num_vectors);
-  for (const PeoChange& change : prog.ValueOrDie().changes) {
+  std::printf("order changes over %zu vectors:\n", trace.drive.num_vectors);
+  for (const PeoChange& change : trace.changes) {
     std::printf("  vector %3zu: ", change.vector_index);
     for (size_t idx : change.old_order) std::printf("%zu", idx);
     std::printf(" -> ");

@@ -48,17 +48,20 @@ int main() {
   //    worker owns a private simulated machine; the merge sums results in
   //    morsel-index order, so the numbers must agree exactly.
   const size_t kMorselSize = 16'384;
-  auto single = engine.ExecuteBaseline(query, kMorselSize);
+  ExecOptions solo_options;  // defaults: baseline, solo
+  solo_options.vector_size = kMorselSize;
+  auto single = engine.Execute(query, solo_options);
   NIPO_CHECK(single.ok());
 
-  ParallelOptions options;
-  options.num_threads = 4;
-  options.morsel_size = kMorselSize;
-  auto sharded = engine.ExecuteBaselineParallel(query, options);
+  ExecOptions options;
+  options.num_threads = 4;  // driver kAuto resolves to sharded
+  options.vector_size = kMorselSize;
+  auto sharded = engine.Execute(query, options);
   NIPO_CHECK(sharded.ok());
 
-  const auto& one = single.ValueOrDie().drive;
-  const auto& par = sharded.ValueOrDie().drive;
+  const ExecReport& one = single.ValueOrDie();
+  const ParallelDriveResult& par =
+      sharded.ValueOrDie().sharded_baseline->drive;
   std::printf("single-threaded : sum=%.0f, %llu rows, %.2f simulated ms\n",
               one.aggregate,
               static_cast<unsigned long long>(one.qualifying_tuples),
@@ -81,13 +84,13 @@ int main() {
   // 3. Progressive optimization under sharding: one shared coordinator
   //    merges the workers' per-morsel counter samples, learns the
   //    selectivities, and broadcasts better orders to every worker.
-  ProgressiveConfig config;
-  config.vector_size = kMorselSize;
-  config.reopt_interval = 2;
-  auto progressive =
-      engine.ExecuteProgressiveParallel(query, config, options);
+  options.mode = ExecMode::kProgressive;
+  options.progressive.vector_size = kMorselSize;
+  options.progressive.reopt_interval = 2;
+  auto progressive = engine.Execute(query, options);
   NIPO_CHECK(progressive.ok());
-  const auto& report = progressive.ValueOrDie();
+  const ParallelProgressiveReport& report =
+      *progressive.ValueOrDie().sharded_progressive;
   NIPO_CHECK(report.drive.merged.qualifying_tuples == one.qualifying_tuples);
   std::printf("progressive (4 shards): %.2f simulated ms critical path, "
               "%zu broadcast reorders, final order:",

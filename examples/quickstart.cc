@@ -44,35 +44,40 @@ int main() {
   };
   query.payload_columns = {"payload"};
 
-  // 3. Execute the fixed-order baseline and the progressive run.
+  // 3. Execute the fixed-order baseline and the progressive run through
+  //    the unified entry point: one ExecOptions struct selects the mode.
   const size_t kVectorSize = 16'384;
-  auto baseline = engine.ExecuteBaseline(query, kVectorSize);
+  ExecOptions base_options;  // defaults: baseline, solo
+  base_options.vector_size = kVectorSize;
+  auto baseline = engine.Execute(query, base_options);
   NIPO_CHECK(baseline.ok());
 
-  ProgressiveConfig config;
-  config.vector_size = kVectorSize;
-  config.reopt_interval = 2;
-  auto progressive = engine.ExecuteProgressive(query, config);
+  ExecOptions prog_options;
+  prog_options.mode = ExecMode::kProgressive;
+  prog_options.progressive.vector_size = kVectorSize;
+  prog_options.progressive.reopt_interval = 2;
+  auto progressive = engine.Execute(query, prog_options);
   NIPO_CHECK(progressive.ok());
 
-  const auto& base = baseline.ValueOrDie();
-  const auto& prog = progressive.ValueOrDie();
+  const ExecReport& base = baseline.ValueOrDie();
+  const ExecReport& prog = progressive.ValueOrDie();
   std::printf("baseline    : %.2f simulated ms, sum=%.0f, %llu rows\n",
-              base.drive.simulated_msec, base.drive.aggregate,
-              static_cast<unsigned long long>(base.drive.qualifying_tuples));
+              base.simulated_msec, base.aggregate,
+              static_cast<unsigned long long>(base.qualifying_tuples));
   std::printf("progressive : %.2f simulated ms, sum=%.0f, %llu rows\n",
-              prog.drive.simulated_msec, prog.drive.aggregate,
-              static_cast<unsigned long long>(prog.drive.qualifying_tuples));
+              prog.simulated_msec, prog.aggregate,
+              static_cast<unsigned long long>(prog.qualifying_tuples));
   std::printf("speedup     : %.2fx\n",
-              base.drive.simulated_msec / prog.drive.simulated_msec);
-  std::printf("PEO changes : %zu (final order:", prog.changes.size());
+              base.simulated_msec / prog.simulated_msec);
+  const ProgressiveReport& trace = *prog.progressive;
+  std::printf("PEO changes : %zu (final order:", trace.changes.size());
   for (size_t idx : prog.final_order) std::printf(" %zu", idx);
   std::printf(")\n");
-  if (!prog.last_estimate.empty()) {
+  if (!trace.last_estimate.empty()) {
     std::printf("learned selectivities:");
-    for (double s : prog.last_estimate) std::printf(" %.3f", s);
+    for (double s : trace.last_estimate) std::printf(" %.3f", s);
     std::printf("\n");
   }
-  NIPO_CHECK(base.drive.qualifying_tuples == prog.drive.qualifying_tuples);
+  NIPO_CHECK(base.qualifying_tuples == prog.qualifying_tuples);
   return 0;
 }

@@ -64,14 +64,17 @@ int main() {
     QuerySpec query = MakeQuery(orders.ValueOrDie());
 
     const size_t kVectorSize = 4'096;
-    auto sel_first = engine.ExecuteBaseline(query, kVectorSize,
-                                            std::vector<size_t>{0, 1});
-    auto join_first = engine.ExecuteBaseline(query, kVectorSize,
-                                             std::vector<size_t>{1, 0});
-    ProgressiveConfig config;
-    config.vector_size = kVectorSize;
-    config.reopt_interval = 4;
-    auto prog = engine.ExecuteProgressive(query, config);
+    ExecOptions base_options;
+    base_options.vector_size = kVectorSize;
+    base_options.order = std::vector<size_t>{0, 1};
+    auto sel_first = engine.Execute(query, base_options);
+    base_options.order = std::vector<size_t>{1, 0};
+    auto join_first = engine.Execute(query, base_options);
+    ExecOptions prog_options;
+    prog_options.mode = ExecMode::kProgressive;
+    prog_options.progressive.vector_size = kVectorSize;
+    prog_options.progressive.reopt_interval = 4;
+    auto prog = engine.Execute(query, prog_options);
     NIPO_CHECK(sel_first.ok() && join_first.ok() && prog.ok());
 
     // Ask the sortedness detector directly what it sees for the probe,
@@ -80,11 +83,13 @@ int main() {
     QuerySpec probe_only;
     probe_only.table = "lineitem";
     probe_only.ops = {query.ops[1]};
-    auto diag = engine.ExecuteBaseline(probe_only, kVectorSize);
+    ExecOptions diag_options;
+    diag_options.vector_size = kVectorSize;
+    auto diag = engine.Execute(probe_only, diag_options);
     NIPO_CHECK(diag.ok());
-    const auto& counters = diag.ValueOrDie().drive.total;
+    const auto& counters = diag.ValueOrDie().counters;
     const double fact_rows =
-        static_cast<double>(diag.ValueOrDie().drive.input_tuples);
+        static_cast<double>(diag.ValueOrDie().input_tuples);
     const double fk_scan_misses =
         fact_rows * 4.0 / engine.hw_config().l3.line_size;
     ProbeObservation obs;
@@ -99,9 +104,9 @@ int main() {
 
     table.AddRow(
         {std::string(LayoutToString(layout)),
-         FormatDouble(sel_first.ValueOrDie().drive.simulated_msec, 2),
-         FormatDouble(join_first.ValueOrDie().drive.simulated_msec, 2),
-         FormatDouble(prog.ValueOrDie().drive.simulated_msec, 2),
+         FormatDouble(sel_first.ValueOrDie().simulated_msec, 2),
+         FormatDouble(join_first.ValueOrDie().simulated_msec, 2),
+         FormatDouble(prog.ValueOrDie().simulated_msec, 2),
          verdict.co_clustered ? "co-clustered" : "random"});
   }
   table.Print(std::cout);

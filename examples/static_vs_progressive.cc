@@ -63,24 +63,32 @@ int main() {
   NIPO_CHECK(engine.RegisterTable(std::move(table)).ok());
 
   const size_t kVectorSize = 8'192;
-  auto static_run = engine.ExecuteBaseline(query, kVectorSize, plan.order);
+  ExecOptions static_options;
+  static_options.vector_size = kVectorSize;
+  static_options.order = plan.order;
+  auto static_run = engine.Execute(query, static_options);
   NIPO_CHECK(static_run.ok());
 
-  ProgressiveConfig cfg;
-  cfg.vector_size = kVectorSize;
-  cfg.reopt_interval = 4;
+  ExecOptions prog_options;
+  prog_options.mode = ExecMode::kProgressive;
+  prog_options.progressive.vector_size = kVectorSize;
+  prog_options.progressive.reopt_interval = 4;
   // Progressive starts from the *same* statically chosen order.
-  auto progressive = engine.ExecuteProgressive(query, cfg, plan.order);
+  prog_options.order = plan.order;
+  auto progressive = engine.Execute(query, prog_options);
   NIPO_CHECK(progressive.ok());
 
   // Oracle: the best fixed order in hindsight.
   double best_fixed = 1e300;
   std::vector<size_t> best_order;
   for (const auto& order : AllOrders(2)) {
-    auto r = engine.ExecuteBaseline(query, kVectorSize, order);
+    ExecOptions options;
+    options.vector_size = kVectorSize;
+    options.order = order;
+    auto r = engine.Execute(query, options);
     NIPO_CHECK(r.ok());
-    if (r.ValueOrDie().drive.simulated_msec < best_fixed) {
-      best_fixed = r.ValueOrDie().drive.simulated_msec;
+    if (r.ValueOrDie().simulated_msec < best_fixed) {
+      best_fixed = r.ValueOrDie().simulated_msec;
       best_order = order;
     }
   }
@@ -88,15 +96,14 @@ int main() {
   TablePrinter out("static plan vs progressive on drifting data");
   out.SetHeader({"strategy", "simulated ms"});
   out.AddRow({"static plan (stale stats)",
-              FormatDouble(static_run.ValueOrDie().drive.simulated_msec, 2)});
+              FormatDouble(static_run.ValueOrDie().simulated_msec, 2)});
   out.AddRow({"best fixed order (oracle)", FormatDouble(best_fixed, 2)});
   out.AddRow({"progressive (from static plan)",
-              FormatDouble(progressive.ValueOrDie().drive.simulated_msec,
-                           2)});
+              FormatDouble(progressive.ValueOrDie().simulated_msec, 2)});
   out.Print(std::cout);
 
-  PrintProgressiveReport(progressive.ValueOrDie(), "progressive run",
-                         std::cout);
+  PrintProgressiveReport(*progressive.ValueOrDie().progressive,
+                         "progressive run", std::cout);
   std::printf(
       "\nThe static order was right for the sampled prefix only; the\n"
       "progressive run switches orders when the counters reveal the\n"

@@ -38,9 +38,12 @@ int main() {
   std::vector<size_t> best_order;
   const auto orders = AllOrders(query.ops.size());
   for (const auto& order : orders) {
-    auto r = engine.ExecuteBaseline(query, kVectorSize, order);
+    ExecOptions options;
+    options.vector_size = kVectorSize;
+    options.order = order;
+    auto r = engine.Execute(query, options);
     NIPO_CHECK(r.ok());
-    const double ms = r.ValueOrDie().drive.simulated_msec;
+    const double ms = r.ValueOrDie().simulated_msec;
     sum += ms;
     if (ms < best) {
       best = ms;
@@ -51,13 +54,14 @@ int main() {
 
   // Progressive run starting from the *worst-case shaped* order
   // (descending selectivity): the spec order reversed is a good stand-in.
-  ProgressiveConfig config;
-  config.vector_size = kVectorSize;
-  config.reopt_interval = 10;
-  std::vector<size_t> initial = {4, 3, 2, 1, 0};
-  auto prog = engine.ExecuteProgressive(query, config, initial);
+  ExecOptions prog_options;
+  prog_options.mode = ExecMode::kProgressive;
+  prog_options.progressive.vector_size = kVectorSize;
+  prog_options.progressive.reopt_interval = 10;
+  prog_options.order = std::vector<size_t>{4, 3, 2, 1, 0};
+  auto prog = engine.Execute(query, prog_options);
   NIPO_CHECK(prog.ok());
-  const auto& report = prog.ValueOrDie();
+  const ProgressiveReport& report = *prog.ValueOrDie().progressive;
 
   TablePrinter table("TPC-H Q6, fixed orders vs progressive optimization");
   table.SetHeader({"strategy", "simulated ms"});

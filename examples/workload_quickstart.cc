@@ -1,7 +1,7 @@
 /// \file workload_quickstart.cc
 /// Smallest end-to-end use of multi-query workload execution (DESIGN.md
 /// "Workload execution"): queue six mixed queries over two shared tables,
-/// run them through Engine::ExecuteWorkload on a 4-worker pool with at
+/// run them through Engine::Execute(WorkloadSpec) on a 4-worker pool with at
 /// most 3 in flight, print the aggregate report, and confirm that the
 /// deterministic mode makes each query bit-identical to running it alone.
 
@@ -63,7 +63,7 @@ int main() {
   }
   spec.options.num_threads = 4;     // worker pool
   spec.options.max_concurrent = 3;  // admission control
-  auto result = engine.ExecuteWorkload(spec);
+  auto result = engine.Execute(spec);
   NIPO_CHECK(result.ok());
   const WorkloadReport& report = result.ValueOrDie();
   PrintWorkloadReport(report, "workload quickstart", std::cout);
@@ -72,13 +72,16 @@ int main() {
   //    running it alone single-threaded — counters included, which is
   //    what lets per-query progressive optimization work unperturbed
   //    under concurrency.
-  auto solo = engine.ExecuteProgressive(spec.queries[3].query,
-                                        spec.queries[3].config);
+  ExecOptions solo_options;
+  solo_options.mode = ExecMode::kProgressive;
+  solo_options.progressive = spec.queries[3].config;
+  auto solo = engine.Execute(spec.queries[3].query, solo_options);
   NIPO_CHECK(solo.ok());
+  const ExecReport& solo_report = solo.ValueOrDie();
   const WorkloadQueryReport& in_pool = report.queries[3];
-  NIPO_CHECK(in_pool.drive.total == solo.ValueOrDie().drive.total);
-  NIPO_CHECK(in_pool.drive.aggregate == solo.ValueOrDie().drive.aggregate);
-  NIPO_CHECK(in_pool.final_order == solo.ValueOrDie().final_order);
+  NIPO_CHECK(in_pool.drive.total == solo_report.counters);
+  NIPO_CHECK(in_pool.drive.aggregate == solo_report.aggregate);
+  NIPO_CHECK(in_pool.final_order == solo_report.final_order);
   std::printf(
       "query '%s' inside the pool == solo run: every counter identical\n",
       in_pool.name.c_str());

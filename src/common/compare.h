@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string_view>
+
+/// \file compare.h
+/// The comparison-operator vocabulary shared by the predicate layer
+/// (exec/operators.h) and the storage layer (zone-map refutation in
+/// storage/encoding.h). Lives in common/ so storage does not depend on
+/// exec.
+
+namespace nipo {
+
+/// Comparison operator of a predicate.
+enum class CompareOp : int { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// \brief Evaluates `lhs op rhs` on doubles (columns are converted; all
+/// column domains in this repository are exactly representable).
+inline bool EvaluateCompare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+}  // namespace nipo

@@ -57,90 +57,106 @@ Status ApplyOrder(PipelineExecutor* exec,
   return exec->Reorder(*order);
 }
 
+/// Copies the mode-independent headline numbers of a solo drive into the
+/// unified report.
+void FillHeadline(const DriveResult& drive, ExecReport* report) {
+  report->input_tuples = drive.input_tuples;
+  report->qualifying_tuples = drive.qualifying_tuples;
+  report->zone_skipped_tuples = drive.zone_skipped_tuples;
+  report->aggregate = drive.aggregate;
+  report->counters = drive.total;
+  report->simulated_msec = drive.simulated_msec;
+}
+
 }  // namespace
 
-Result<BaselineReport> Engine::ExecuteBaseline(
-    const QuerySpec& query, size_t vector_size,
-    std::optional<std::vector<size_t>> order) const {
-  if (vector_size == 0) {
-    return Status::InvalidArgument("vector_size must be positive");
-  }
-  Pmu pmu = NewMachine();
-  NIPO_ASSIGN_OR_RETURN(
-      std::unique_ptr<PipelineExecutor> exec,
-      CompileQuery(query, &pmu, InstrumentationMode::kPmu));
-  NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), order));
-  BaselineReport report;
-  report.order = exec->current_order();
-  report.drive = RunBaseline(exec.get(), vector_size);
-  // Runtime data errors (e.g. an FK value outside its dimension) latch on
-  // the executor instead of aborting; the solo entry points surface them
-  // as a failed call.
-  NIPO_RETURN_NOT_OK(exec->error());
-  return report;
-}
+Result<ExecReport> Engine::Execute(const QuerySpec& query,
+                                   const ExecOptions& options) const {
+  const ExecDriver driver =
+      options.driver != ExecDriver::kAuto ? options.driver
+      : options.num_threads <= 1          ? ExecDriver::kSolo
+                                          : ExecDriver::kSharded;
+  ExecReport report;
+  report.mode = options.mode;
+  report.driver = driver;
 
-Result<ProgressiveReport> Engine::ExecuteProgressive(
-    const QuerySpec& query, const ProgressiveConfig& config,
-    std::optional<std::vector<size_t>> initial_order) const {
-  if (config.vector_size == 0) {
-    return Status::InvalidArgument("vector_size must be positive");
+  if (driver == ExecDriver::kSolo) {
+    if (options.mode == ExecMode::kBaseline) {
+      if (options.vector_size == 0) {
+        return Status::InvalidArgument("vector_size must be positive");
+      }
+      Pmu pmu = NewMachine();
+      NIPO_ASSIGN_OR_RETURN(
+          std::unique_ptr<PipelineExecutor> exec,
+          CompileQuery(query, &pmu, InstrumentationMode::kPmu));
+      NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), options.order));
+      BaselineReport sub;
+      sub.order = exec->current_order();
+      sub.drive = RunBaseline(exec.get(), options.vector_size);
+      // Runtime data errors (e.g. an FK value outside its dimension) latch
+      // on the executor instead of aborting; the solo entry points surface
+      // them as a failed call.
+      NIPO_RETURN_NOT_OK(exec->error());
+      FillHeadline(sub.drive, &report);
+      report.final_order = sub.order;
+      report.baseline = std::move(sub);
+      return report;
+    }
+    if (options.progressive.vector_size == 0) {
+      return Status::InvalidArgument("vector_size must be positive");
+    }
+    Pmu pmu = NewMachine();
+    NIPO_ASSIGN_OR_RETURN(
+        std::unique_ptr<PipelineExecutor> exec,
+        CompileQuery(query, &pmu, InstrumentationMode::kPmu));
+    NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), options.order));
+    ProgressiveOptimizer optimizer(exec.get(), options.progressive);
+    ProgressiveReport sub = optimizer.Run();
+    NIPO_RETURN_NOT_OK(exec->error());
+    FillHeadline(sub.drive, &report);
+    report.final_order = sub.final_order;
+    report.progressive = std::move(sub);
+    return report;
   }
-  Pmu pmu = NewMachine();
-  NIPO_ASSIGN_OR_RETURN(
-      std::unique_ptr<PipelineExecutor> exec,
-      CompileQuery(query, &pmu, InstrumentationMode::kPmu));
-  NIPO_RETURN_NOT_OK(ApplyOrder(exec.get(), initial_order));
-  ProgressiveOptimizer optimizer(exec.get(), config);
-  auto report = optimizer.Run();
-  NIPO_RETURN_NOT_OK(exec->error());
-  return report;
-}
 
-Result<ParallelBaselineReport> Engine::ExecuteBaselineParallel(
-    const QuerySpec& query, const ParallelOptions& options,
-    std::optional<std::vector<size_t>> order) const {
   if (options.num_threads == 0) {
     return Status::InvalidArgument("num_threads must be positive");
-  }
-  if (options.morsel_size == 0) {
-    return Status::InvalidArgument("morsel_size must be positive");
   }
   ParallelConfig pcfg;
   pcfg.num_threads = options.num_threads;
-  pcfg.morsel_size = options.morsel_size;
   pcfg.cancel = options.cancel;
-  ParallelDriver driver(
-      NewMachine(),
-      [this, &query](Pmu* pmu) {
-        return CompileQuery(query, pmu, InstrumentationMode::kPmu);
-      },
-      pcfg);
-  // Query and order errors propagate from the driver, which compiles every
-  // worker executor and applies `order` before any thread starts.
-  ParallelBaselineReport report;
-  NIPO_ASSIGN_OR_RETURN(report.drive, driver.Run(order));
-  // A runtime data error fails the call, like the solo entry point;
-  // cooperative cancellation instead returns the partial report with
-  // drive.cancelled set.
-  NIPO_RETURN_NOT_OK(report.drive.error);
-  if (order.has_value()) {
-    report.order = *std::move(order);
-  } else {
-    report.order.resize(query.ops.size());
-    std::iota(report.order.begin(), report.order.end(), size_t{0});
-  }
-  return report;
-}
+  auto factory = [this, &query](Pmu* pmu) {
+    return CompileQuery(query, pmu, InstrumentationMode::kPmu);
+  };
 
-Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
-    const QuerySpec& query, const ProgressiveConfig& config,
-    const ParallelOptions& options,
-    std::optional<std::vector<size_t>> initial_order) const {
-  if (options.num_threads == 0) {
-    return Status::InvalidArgument("num_threads must be positive");
+  if (options.mode == ExecMode::kBaseline) {
+    if (options.vector_size == 0) {
+      return Status::InvalidArgument("morsel_size must be positive");
+    }
+    pcfg.morsel_size = options.vector_size;
+    ParallelDriver pdriver(NewMachine(), factory, pcfg);
+    // Query and order errors propagate from the driver, which compiles
+    // every worker executor and applies the order before any thread
+    // starts.
+    ParallelBaselineReport sub;
+    NIPO_ASSIGN_OR_RETURN(sub.drive, pdriver.Run(options.order));
+    // A runtime data error fails the call, like the solo entry point;
+    // cooperative cancellation instead returns the partial report with
+    // drive.cancelled set.
+    NIPO_RETURN_NOT_OK(sub.drive.error);
+    if (options.order.has_value()) {
+      sub.order = *options.order;
+    } else {
+      sub.order.resize(query.ops.size());
+      std::iota(sub.order.begin(), sub.order.end(), size_t{0});
+    }
+    FillHeadline(sub.drive.merged, &report);
+    report.final_order = sub.order;
+    report.sharded_baseline = std::move(sub);
+    return report;
   }
-  if (config.vector_size == 0) {
+
+  if (options.progressive.vector_size == 0) {
     return Status::InvalidArgument("vector_size must be positive");
   }
   // The coordinator's control pipeline: never executed, provides operator
@@ -149,28 +165,94 @@ Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
   NIPO_ASSIGN_OR_RETURN(
       std::unique_ptr<PipelineExecutor> control,
       CompileQuery(query, &control_pmu, InstrumentationMode::kPmu));
-  NIPO_RETURN_NOT_OK(ApplyOrder(control.get(), initial_order));
-  ParallelProgressiveCoordinator coordinator(control.get(), config);
-
-  ParallelConfig pcfg;
-  pcfg.num_threads = options.num_threads;
-  pcfg.morsel_size = config.vector_size;  // the paper's sampling unit
-  pcfg.cancel = options.cancel;
-  ParallelDriver driver(
-      NewMachine(),
-      [this, &query](Pmu* pmu) {
-        return CompileQuery(query, pmu, InstrumentationMode::kPmu);
-      },
-      pcfg);
-  ParallelProgressiveReport report;
+  NIPO_RETURN_NOT_OK(ApplyOrder(control.get(), options.order));
+  ParallelProgressiveCoordinator coordinator(control.get(),
+                                             options.progressive);
+  pcfg.morsel_size = options.progressive.vector_size;  // the sampling unit
+  ParallelDriver pdriver(NewMachine(), factory, pcfg);
+  ParallelProgressiveReport sub;
   NIPO_ASSIGN_OR_RETURN(
-      report.drive,
-      driver.Run(initial_order, [&coordinator](const MorselRecord& record) {
-        return coordinator.OnMorsel(record);
-      }));
-  NIPO_RETURN_NOT_OK(report.drive.error);
-  coordinator.FillReport(&report);
+      sub.drive, pdriver.Run(options.order,
+                             [&coordinator](const MorselRecord& record) {
+                               return coordinator.OnMorsel(record);
+                             }));
+  NIPO_RETURN_NOT_OK(sub.drive.error);
+  coordinator.FillReport(&sub);
+  FillHeadline(sub.drive.merged, &report);
+  report.final_order = sub.final_order;
+  report.sharded_progressive = std::move(sub);
   return report;
+}
+
+Result<TableEncodingStats> Engine::EncodeTable(const std::string& name,
+                                               const EncodingOptions& options) {
+  NIPO_ASSIGN_OR_RETURN(Table * table, GetMutableTable(name));
+  return EncodeTableColumns(table, options);
+}
+
+Result<BaselineReport> Engine::ExecuteBaseline(
+    const QuerySpec& query, size_t vector_size,
+    std::optional<std::vector<size_t>> order) const {
+  ExecOptions options;
+  options.mode = ExecMode::kBaseline;
+  options.driver = ExecDriver::kSolo;
+  options.vector_size = vector_size;
+  options.order = std::move(order);
+  NIPO_ASSIGN_OR_RETURN(ExecReport report, Execute(query, options));
+  if (!report.baseline.has_value()) {
+    return Status::InvalidArgument("execution produced no baseline report");
+  }
+  return *std::move(report.baseline);
+}
+
+Result<ProgressiveReport> Engine::ExecuteProgressive(
+    const QuerySpec& query, const ProgressiveConfig& config,
+    std::optional<std::vector<size_t>> initial_order) const {
+  ExecOptions options;
+  options.mode = ExecMode::kProgressive;
+  options.driver = ExecDriver::kSolo;
+  options.progressive = config;
+  options.order = std::move(initial_order);
+  NIPO_ASSIGN_OR_RETURN(ExecReport report, Execute(query, options));
+  if (!report.progressive.has_value()) {
+    return Status::InvalidArgument("execution produced no progressive report");
+  }
+  return *std::move(report.progressive);
+}
+
+Result<ParallelBaselineReport> Engine::ExecuteBaselineParallel(
+    const QuerySpec& query, const ParallelOptions& parallel,
+    std::optional<std::vector<size_t>> order) const {
+  ExecOptions options;
+  options.mode = ExecMode::kBaseline;
+  options.driver = ExecDriver::kSharded;
+  options.num_threads = parallel.num_threads;
+  options.vector_size = parallel.morsel_size;
+  options.cancel = parallel.cancel;
+  options.order = std::move(order);
+  NIPO_ASSIGN_OR_RETURN(ExecReport report, Execute(query, options));
+  if (!report.sharded_baseline.has_value()) {
+    return Status::InvalidArgument("execution produced no sharded_baseline report");
+  }
+  return *std::move(report.sharded_baseline);
+}
+
+Result<ParallelProgressiveReport> Engine::ExecuteProgressiveParallel(
+    const QuerySpec& query, const ProgressiveConfig& config,
+    const ParallelOptions& parallel,
+    std::optional<std::vector<size_t>> initial_order) const {
+  ExecOptions options;
+  options.mode = ExecMode::kProgressive;
+  options.driver = ExecDriver::kSharded;
+  options.num_threads = parallel.num_threads;
+  options.progressive = config;
+  options.cancel = parallel.cancel;
+  options.order = std::move(initial_order);
+  NIPO_ASSIGN_OR_RETURN(ExecReport report, Execute(query, options));
+  if (!report.sharded_progressive.has_value()) {
+    return Status::InvalidArgument("execution produced no sharded_progressive report");
+  }
+  return *std::move(report.sharded_progressive);
 }
 
 namespace {
@@ -230,7 +312,7 @@ void FillScheduleEstimates(const Table& table, const QuerySpec& query,
 
 }  // namespace
 
-Result<WorkloadReport> Engine::ExecuteWorkload(const WorkloadSpec& spec) const {
+Result<WorkloadReport> Engine::Execute(const WorkloadSpec& spec) const {
   std::vector<WorkloadTask> tasks;
   tasks.reserve(spec.queries.size());
   for (const WorkloadQuery& q : spec.queries) {
@@ -256,6 +338,10 @@ Result<WorkloadReport> Engine::ExecuteWorkload(const WorkloadSpec& spec) const {
       },
       spec.options);
   return driver.Run(tasks);
+}
+
+Result<WorkloadReport> Engine::ExecuteWorkload(const WorkloadSpec& spec) const {
+  return Execute(spec);
 }
 
 std::vector<std::vector<size_t>> AllOrders(size_t n) {

@@ -10,6 +10,7 @@
 #include "exec/workload_driver.h"
 #include "hw/pmu.h"
 #include "optimizer/progressive.h"
+#include "storage/encoding.h"
 #include "storage/table.h"
 
 /// \file engine.h
@@ -114,6 +115,70 @@ struct WorkloadSpec {
   WorkloadOptions options;
 };
 
+/// \brief Optimization strategy of the unified Execute entry point.
+enum class ExecMode {
+  kBaseline,     ///< fixed evaluation order (the paper's common pattern)
+  kProgressive,  ///< in-flight reordering from counter windows
+};
+
+/// \brief Driver selection of the unified Execute entry point.
+enum class ExecDriver {
+  /// Solo when num_threads <= 1, sharded otherwise.
+  kAuto,
+  /// Single-threaded vector-at-a-time drive (VectorDriver).
+  kSolo,
+  /// Morsel-sharded multi-threaded drive (ParallelDriver), even at
+  /// num_threads = 1 (which reproduces the solo counters bit-identically
+  /// at vector_size == morsel size).
+  kSharded,
+};
+
+/// \brief Options of the unified Engine::Execute entry point: one struct
+/// selects the mode, the driver and the pricing instead of four
+/// mode-specific method signatures.
+struct ExecOptions {
+  ExecMode mode = ExecMode::kBaseline;
+  ExecDriver driver = ExecDriver::kAuto;
+  /// Worker threads of the sharded driver (>= 1; ignored by kSolo).
+  size_t num_threads = 1;
+  /// Vector size of the solo baseline drive, morsel size of the sharded
+  /// baseline drive. Progressive runs sample at progressive.vector_size
+  /// instead, so their unit matches the optimizer's windows.
+  size_t vector_size = 65'536;
+  /// Progressive settings -- sampling vector size, re-optimization
+  /// interval, pricing (kUnit / kBranchCycles / kSimdAware), validation
+  /// -- consulted when mode == kProgressive.
+  ProgressiveConfig progressive;
+  /// Optional initial evaluation order (permutation of query.ops).
+  std::optional<std::vector<size_t>> order;
+  /// Optional cooperative cancellation token for sharded drives (see
+  /// ParallelOptions::cancel). The pointee must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// \brief Unified execution result: the mode-independent headline numbers
+/// plus exactly one engaged mode-specific sub-report.
+struct ExecReport {
+  /// The (mode, driver) pair that actually ran; driver is resolved, never
+  /// kAuto.
+  ExecMode mode = ExecMode::kBaseline;
+  ExecDriver driver = ExecDriver::kSolo;
+  uint64_t input_tuples = 0;
+  uint64_t qualifying_tuples = 0;
+  /// Tuples pruned by zone maps before per-tuple work (0 over plain
+  /// storage; see src/storage/encoding.h).
+  uint64_t zone_skipped_tuples = 0;
+  double aggregate = 0.0;
+  PmuCounters counters;       ///< merged over workers for sharded drives
+  double simulated_msec = 0;  ///< critical path for sharded drives
+  std::vector<size_t> final_order;
+  /// Mode-specific details; the one matching (mode, driver) is engaged.
+  std::optional<BaselineReport> baseline;
+  std::optional<ProgressiveReport> progressive;
+  std::optional<ParallelBaselineReport> sharded_baseline;
+  std::optional<ParallelProgressiveReport> sharded_progressive;
+};
+
 /// \brief Engine: table registry + simulated machine + query entry points.
 class Engine {
  public:
@@ -137,15 +202,37 @@ class Engine {
   ReportingMode reporting_mode() const { return reporting_mode_; }
   void set_reporting_mode(ReportingMode mode) { reporting_mode_ = mode; }
 
+  /// Unified entry point: executes `query` on fresh machines under the
+  /// mode / driver / pricing selected by `options`. The older
+  /// Execute{Baseline,Progressive,BaselineParallel,ProgressiveParallel}
+  /// names below are thin shims over this call.
+  Result<ExecReport> Execute(const QuerySpec& query,
+                             const ExecOptions& options = {}) const;
+
+  /// Unified entry point, workload form: executes a multi-query workload
+  /// over a shared worker pool (ExecuteWorkload is the delegating shim).
+  Result<WorkloadReport> Execute(const WorkloadSpec& spec) const;
+
+  /// Re-encodes every column of a registered table into the per-block
+  /// compressed format (dictionary / bit-packed / plain per 64K-value
+  /// block, with zone maps; see src/storage/encoding.h). Queries keep
+  /// working unchanged through the ColumnView scan API; an encodings-off
+  /// engine stays bit-identical to the plain-array path. Idempotent:
+  /// already-encoded columns are left alone.
+  Result<TableEncodingStats> EncodeTable(const std::string& name,
+                                         const EncodingOptions& options = {});
+
   /// Executes `query` with a fixed evaluation order on a fresh machine.
   /// `order`, if given, permutes query.ops; otherwise the spec order runs.
+  /// Shim over Execute({kBaseline, kSolo}).
   Result<BaselineReport> ExecuteBaseline(
       const QuerySpec& query, size_t vector_size,
       std::optional<std::vector<size_t>> order = std::nullopt) const;
 
   /// Executes `query` under progressive optimization on a fresh machine.
   /// `initial_order`, if given, permutes query.ops before the first
-  /// vector (the paper's "initial PEO" degree of freedom).
+  /// vector (the paper's "initial PEO" degree of freedom). Shim over
+  /// Execute({kProgressive, kSolo}).
   Result<ProgressiveReport> ExecuteProgressive(
       const QuerySpec& query, const ProgressiveConfig& config,
       std::optional<std::vector<size_t>> initial_order = std::nullopt) const;
@@ -153,7 +240,8 @@ class Engine {
   /// Executes `query` with a fixed order sharded across
   /// `options.num_threads` worker threads, each on its own fresh machine
   /// (DESIGN.md "Parallel execution"). With num_threads = 1 the result is
-  /// bit-identical to ExecuteBaseline at vector_size = morsel_size.
+  /// bit-identical to ExecuteBaseline at vector_size = morsel_size. Shim
+  /// over Execute({kBaseline, kSharded}).
   Result<ParallelBaselineReport> ExecuteBaselineParallel(
       const QuerySpec& query, const ParallelOptions& options,
       std::optional<std::vector<size_t>> order = std::nullopt) const;
@@ -162,7 +250,7 @@ class Engine {
   /// `options.num_threads` workers: per-morsel counter samples are merged
   /// by one shared coordinator, whose reorder decisions are broadcast to
   /// all workers at morsel boundaries. Morsel size is
-  /// `config.vector_size`.
+  /// `config.vector_size`. Shim over Execute({kProgressive, kSharded}).
   Result<ParallelProgressiveReport> ExecuteProgressiveParallel(
       const QuerySpec& query, const ProgressiveConfig& config,
       const ParallelOptions& options,
@@ -186,7 +274,7 @@ class Engine {
   /// report; `spec.options.adaptive_admission` lets the admission limit
   /// self-tune inside [1, max_concurrent] from simulated interference
   /// feedback. Both compose with `spec.options.contention`, and every
-  /// latency figure stays bit-stable.
+  /// latency figure stays bit-stable. Shim over Execute(WorkloadSpec).
   Result<WorkloadReport> ExecuteWorkload(const WorkloadSpec& spec) const;
 
   /// Builds the fresh simulated machine every execution runs on (cold

@@ -66,6 +66,35 @@ void PrintDriveResult(const DriveResult& drive, const std::string& title,
   table.Print(out);
 }
 
+void PrintExecReport(const ExecReport& report, const std::string& title,
+                     std::ostream& out) {
+  TablePrinter table(title);
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"mode", report.mode == ExecMode::kBaseline ? "baseline"
+                                                           : "progressive"});
+  table.AddRow(
+      {"driver", report.driver == ExecDriver::kSolo ? "solo" : "sharded"});
+  table.AddRow({"input tuples", std::to_string(report.input_tuples)});
+  table.AddRow(
+      {"qualifying tuples", std::to_string(report.qualifying_tuples)});
+  table.AddRow(
+      {"zone-skipped tuples", std::to_string(report.zone_skipped_tuples)});
+  table.AddRow({"aggregate", FormatDouble(report.aggregate, 2)});
+  table.AddRow({"simulated msec", FormatDouble(report.simulated_msec, 3)});
+  table.AddRow({"final order", FormatOrder(report.final_order)});
+  table.Print(out);
+  if (report.progressive.has_value()) {
+    PrintProgressiveReport(*report.progressive, title + " (progressive)",
+                           out);
+  } else if (report.sharded_baseline.has_value()) {
+    PrintParallelDriveResult(report.sharded_baseline->drive,
+                             title + " (workers)", out);
+  } else if (report.sharded_progressive.has_value()) {
+    PrintParallelProgressiveReport(*report.sharded_progressive,
+                                   title + " (workers)", out);
+  }
+}
+
 std::string FormatOrder(const std::vector<size_t>& order) {
   std::string out;
   for (size_t i = 0; i < order.size(); ++i) {

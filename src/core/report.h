@@ -45,6 +45,12 @@ void PrintParallelProgressiveReport(const ParallelProgressiveReport& report,
 void PrintWorkloadReport(const WorkloadReport& report,
                          const std::string& title, std::ostream& out);
 
+/// \brief Renders a unified Execute run: the mode/driver line, headline
+/// numbers (tuples, zone-skipped, aggregate, simulated time) and the
+/// engaged mode-specific sub-report.
+void PrintExecReport(const ExecReport& report, const std::string& title,
+                     std::ostream& out);
+
 /// \brief One-line PEO rendering ("3,1,0,2,4").
 std::string FormatOrder(const std::vector<size_t>& order);
 

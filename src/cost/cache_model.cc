@@ -17,9 +17,15 @@ ColumnCacheEstimate EstimateColumnCache(const ScanCacheModelConfig& config,
                                         const ScanColumnSpec& column) {
   NIPO_CHECK(column.value_width > 0);
   NIPO_CHECK(config.line_size >= column.value_width);
+  NIPO_CHECK(column.packed_bytes_per_value >= 0.0);
   ColumnCacheEstimate out;
+  // Encoded columns stream their packed representation past the caches, so
+  // the line density is set by the encoded width, not the decoded one.
+  const double scan_bytes = column.packed_bytes_per_value > 0.0
+                                ? column.packed_bytes_per_value
+                                : static_cast<double>(column.value_width);
   const double values_per_line =
-      static_cast<double>(config.line_size) / column.value_width;
+      static_cast<double>(config.line_size) / scan_bytes;
   out.lines_total = num_tuples / values_per_line;
   const double rho = std::clamp(column.access_fraction, 0.0, 1.0);
   // Probability that a line contains at least one accessed value.
@@ -52,16 +58,38 @@ std::vector<ScanColumnSpec> BuildScanColumns(
     const std::vector<double>& selectivities,
     const std::vector<uint32_t>& predicate_widths,
     const std::vector<uint32_t>& payload_widths) {
+  return BuildScanColumns(selectivities, predicate_widths, payload_widths, {},
+                          {});
+}
+
+std::vector<ScanColumnSpec> BuildScanColumns(
+    const std::vector<double>& selectivities,
+    const std::vector<uint32_t>& predicate_widths,
+    const std::vector<uint32_t>& payload_widths,
+    const std::vector<double>& predicate_packed_bytes,
+    const std::vector<double>& payload_packed_bytes) {
   NIPO_CHECK(selectivities.size() == predicate_widths.size());
+  NIPO_CHECK(predicate_packed_bytes.empty() ||
+             predicate_packed_bytes.size() == predicate_widths.size());
+  NIPO_CHECK(payload_packed_bytes.empty() ||
+             payload_packed_bytes.size() == payload_widths.size());
   std::vector<ScanColumnSpec> columns;
   columns.reserve(selectivities.size() + payload_widths.size());
   double rho = 1.0;
   for (size_t i = 0; i < selectivities.size(); ++i) {
-    columns.push_back(ScanColumnSpec{predicate_widths[i], rho});
+    ScanColumnSpec spec{predicate_widths[i], rho};
+    if (!predicate_packed_bytes.empty()) {
+      spec.packed_bytes_per_value = predicate_packed_bytes[i];
+    }
+    columns.push_back(spec);
     rho *= std::clamp(selectivities[i], 0.0, 1.0);
   }
-  for (uint32_t width : payload_widths) {
-    columns.push_back(ScanColumnSpec{width, rho});
+  for (size_t i = 0; i < payload_widths.size(); ++i) {
+    ScanColumnSpec spec{payload_widths[i], rho};
+    if (!payload_packed_bytes.empty()) {
+      spec.packed_bytes_per_value = payload_packed_bytes[i];
+    }
+    columns.push_back(spec);
   }
   return columns;
 }

@@ -24,6 +24,11 @@ struct ScanColumnSpec {
   /// Fraction of tuples whose value is loaded: 1.0 for the first predicate
   /// column, the product of preceding selectivities for later columns.
   double access_fraction = 1.0;
+  /// Encoded bytes a scan actually touches per value (dictionary codes or
+  /// bit-packed words; see src/storage/encoding.h). Fractional for packed
+  /// widths below a byte. Zero means the column is stored plain and
+  /// `value_width` bytes stream past the caches per value.
+  double packed_bytes_per_value = 0.0;
 };
 
 /// \brief Per-column cache estimate.
@@ -66,6 +71,17 @@ std::vector<ScanColumnSpec> BuildScanColumns(
     const std::vector<double>& selectivities,
     const std::vector<uint32_t>& predicate_widths,
     const std::vector<uint32_t>& payload_widths);
+
+/// \brief As above, with per-column encoded scan widths. Empty vectors (or
+/// zero entries) mean plain storage; otherwise `predicate_packed_bytes`
+/// must align with `predicate_widths` and `payload_packed_bytes` with
+/// `payload_widths`.
+std::vector<ScanColumnSpec> BuildScanColumns(
+    const std::vector<double>& selectivities,
+    const std::vector<uint32_t>& predicate_widths,
+    const std::vector<uint32_t>& payload_widths,
+    const std::vector<double>& predicate_packed_bytes,
+    const std::vector<double>& payload_packed_bytes);
 
 /// \brief Estimated shared-L3 working set of one query (the admission
 /// input of footprint-aware co-scheduling; DESIGN.md Section 6).

@@ -23,7 +23,8 @@ CounterEstimate PredictCounters(const ScanShape& shape,
   out.taken_mp = branches.taken_mp;
   out.not_taken_mp = branches.not_taken_mp;
   const std::vector<ScanColumnSpec> columns = BuildScanColumns(
-      selectivities, shape.predicate_widths, shape.payload_widths);
+      selectivities, shape.predicate_widths, shape.payload_widths,
+      shape.predicate_packed_bytes, shape.payload_packed_bytes);
   out.l3_accesses =
       EstimateScanL3Accesses(shape.cache, shape.num_tuples, columns);
   return out;

@@ -25,6 +25,11 @@ struct ScanShape {
   std::vector<uint32_t> predicate_widths;
   /// Columns read only by fully qualifying tuples (aggregate inputs).
   std::vector<uint32_t> payload_widths;
+  /// Encoded bytes a scan touches per value (0 / empty = plain storage);
+  /// aligned with predicate_widths / payload_widths when non-empty. Keeps
+  /// the cache-access prediction honest over compressed columns.
+  std::vector<double> predicate_packed_bytes;
+  std::vector<double> payload_packed_bytes;
   ScanCacheModelConfig cache;
   PredictorConfig predictor;
   bool include_loop_branch = true;

@@ -16,28 +16,9 @@ namespace nipo {
 
 namespace {
 
-using BoundColumn = BoundColumnRef;
-
-Result<BoundColumn> Bind(const Table& table, const std::string& name) {
+Result<ColumnView> Bind(const Table& table, const std::string& name) {
   NIPO_ASSIGN_OR_RETURN(const ColumnBase* column, table.GetColumn(name));
-  BoundColumn bound;
-  bound.data = static_cast<const uint8_t*>(column->data());
-  bound.width = static_cast<uint32_t>(column->value_width());
-  bound.type = column->type();
-  return bound;
-}
-
-int64_t LoadAsInt64(const BoundColumn& column, size_t row) {
-  const uint8_t* addr = column.data + static_cast<uint64_t>(row) * column.width;
-  switch (column.type) {
-    case DataType::kInt32:
-      return *reinterpret_cast<const int32_t*>(addr);
-    case DataType::kInt64:
-      return *reinterpret_cast<const int64_t*>(addr);
-    case DataType::kDouble:
-      return static_cast<int64_t>(*reinterpret_cast<const double*>(addr));
-  }
-  return 0;
+  return ColumnView::Bind(column);
 }
 
 }  // namespace
@@ -46,19 +27,19 @@ Result<HashAggregateResult> ExecuteHashAggregate(
     const HashAggregateSpec& spec, Pmu* pmu) {
   if (pmu == nullptr) return Status::InvalidArgument("null pmu");
   if (spec.table == nullptr) return Status::InvalidArgument("null table");
-  NIPO_ASSIGN_OR_RETURN(BoundColumn group_col,
+  NIPO_ASSIGN_OR_RETURN(ColumnView group_col,
                         Bind(*spec.table, spec.group_column));
-  if (group_col.type == DataType::kDouble) {
+  if (group_col.type() == DataType::kDouble) {
     return Status::TypeMismatch("group column must be integer");
   }
-  std::vector<BoundColumn> filter_cols;
+  std::vector<ColumnView> filter_cols;
   for (const PredicateSpec& filter : spec.filters) {
-    NIPO_ASSIGN_OR_RETURN(BoundColumn c, Bind(*spec.table, filter.column));
+    NIPO_ASSIGN_OR_RETURN(ColumnView c, Bind(*spec.table, filter.column));
     filter_cols.push_back(c);
   }
-  std::vector<BoundColumn> agg_cols;
+  std::vector<ColumnView> agg_cols;
   for (const AggregateSpec& agg : spec.aggregates) {
-    NIPO_ASSIGN_OR_RETURN(BoundColumn c, Bind(*spec.table, agg.column));
+    NIPO_ASSIGN_OR_RETURN(ColumnView c, Bind(*spec.table, agg.column));
     agg_cols.push_back(c);
   }
 
@@ -87,6 +68,7 @@ Result<HashAggregateResult> ExecuteHashAggregate(
   // gather per aggregate column.
   const size_t num_rows = spec.table->num_rows();
   SelectionScratch scratch;
+  DecodeScratch decode;
   std::vector<uint32_t> state_idx;
   std::vector<int64_t> block_groups(kSimBlockRows);
   std::vector<uint64_t> block_hashes(kSimBlockRows);
@@ -100,7 +82,8 @@ Result<HashAggregateResult> ExecuteHashAggregate(
       PredicateEvalArgs args;
       args.pmu = pmu;
       args.branch_site = f;
-      args.column = filter_cols[f];
+      args.column = &filter_cols[f];
+      args.decode = &decode;
       args.block_begin = block;
       args.op = spec.filters[f].op;
       args.value = spec.filters[f].value;
@@ -118,12 +101,11 @@ Result<HashAggregateResult> ExecuteHashAggregate(
     result.passed_filter += active;
 
     if (active > 0) {
-      pmu->OnGatherLoads(
-          group_col.data + static_cast<uint64_t>(block) * group_col.width,
-          group_col.width, sel, active);
+      const ScanRun group_run =
+          group_col.ScanBlock(pmu, block, sel, active, &decode);
       state_idx.resize(active);
       for (size_t j = 0; j < active; ++j) {
-        block_groups[j] = LoadAsInt64(group_col, block + sel[j]);
+        block_groups[j] = ScanRunValueAsInt64(group_run, j);
       }
       simd::HashKeys(block_groups.data(), active, block_hashes.data());
       for (size_t j = 0; j < active; ++j) {
@@ -150,13 +132,11 @@ Result<HashAggregateResult> ExecuteHashAggregate(
         state_idx[j] = static_cast<uint32_t>(state_index);
       }
       for (size_t a = 0; a < agg_cols.size(); ++a) {
-        const BoundColumn& col = agg_cols[a];
-        pmu->OnGatherLoads(
-            col.data + static_cast<uint64_t>(block) * col.width, col.width,
-            sel, active);
+        const ScanRun agg_run =
+            agg_cols[a].ScanBlock(pmu, block, sel, active, &decode);
         pmu->OnInstructions(active);  // the adds
         for (size_t j = 0; j < active; ++j) {
-          sums[a][state_idx[j]] += LoadAsInt64(col, block + sel[j]);
+          sums[a][state_idx[j]] += ScanRunValueAsInt64(agg_run, j);
         }
       }
     }

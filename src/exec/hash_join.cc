@@ -17,40 +17,25 @@ namespace nipo {
 
 namespace {
 
-/// Widens one block of an integer key column into the int64 buffer the
-/// batched hash/probe kernels consume (callers validate the column type).
-void ExtractKeys(const ColumnBase& column, size_t begin, size_t n,
-                 int64_t* out) {
-  switch (column.type()) {
+/// Widens one dense key-scan run into the int64 buffer the batched
+/// hash/probe kernels consume (callers validate the column type).
+void ExtractKeys(const ScanRun& run, size_t n, int64_t* out) {
+  switch (run.type) {
     case DataType::kInt32: {
       const int32_t* base =
-          static_cast<const int32_t*>(column.data()) + begin;
+          reinterpret_cast<const int32_t*>(run.data) + run.base_row;
       for (size_t j = 0; j < n; ++j) out[j] = base[j];
       return;
     }
     case DataType::kInt64: {
       const int64_t* base =
-          static_cast<const int64_t*>(column.data()) + begin;
+          reinterpret_cast<const int64_t*>(run.data) + run.base_row;
       for (size_t j = 0; j < n; ++j) out[j] = base[j];
       return;
     }
     case DataType::kDouble:
       return;  // rejected before the block loops
   }
-}
-
-double ValueAt(const ColumnBase& column, size_t row) {
-  switch (column.type()) {
-    case DataType::kInt32:
-      return static_cast<double>(
-          (*static_cast<const Column<int32_t>*>(&column))[row]);
-    case DataType::kInt64:
-      return static_cast<double>(
-          (*static_cast<const Column<int64_t>*>(&column))[row]);
-    case DataType::kDouble:
-      return (*static_cast<const Column<double>*>(&column))[row];
-  }
-  return 0.0;
 }
 
 }  // namespace
@@ -60,20 +45,26 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   if (spec.build == nullptr || spec.probe == nullptr) {
     return Status::InvalidArgument("hash join needs both tables");
   }
-  NIPO_ASSIGN_OR_RETURN(const ColumnBase* build_key,
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* build_key_col,
                         spec.build->GetColumn(spec.build_key));
-  const ColumnBase* payload = nullptr;
+  NIPO_ASSIGN_OR_RETURN(ColumnView build_key, ColumnView::Bind(build_key_col));
+  bool has_payload = false;
+  ColumnView payload;
   if (!spec.build_payload.empty()) {
-    NIPO_ASSIGN_OR_RETURN(payload, spec.build->GetColumn(spec.build_payload));
+    NIPO_ASSIGN_OR_RETURN(const ColumnBase* payload_col,
+                          spec.build->GetColumn(spec.build_payload));
+    NIPO_ASSIGN_OR_RETURN(payload, ColumnView::Bind(payload_col));
+    has_payload = true;
   }
-  NIPO_ASSIGN_OR_RETURN(const ColumnBase* probe_key,
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* probe_key_col,
                         spec.probe->GetColumn(spec.probe_key));
-  if (build_key->type() == DataType::kDouble) {
-    return Status::TypeMismatch("join key column '" + build_key->name() +
+  NIPO_ASSIGN_OR_RETURN(ColumnView probe_key, ColumnView::Bind(probe_key_col));
+  if (build_key.type() == DataType::kDouble) {
+    return Status::TypeMismatch("join key column '" + build_key.name() +
                                 "' must be integer");
   }
-  if (probe_key->type() == DataType::kDouble) {
-    return Status::TypeMismatch("join key column '" + probe_key->name() +
+  if (probe_key.type() == DataType::kDouble) {
+    return Status::TypeMismatch("join key column '" + probe_key.name() +
                                 "' must be integer");
   }
 
@@ -91,18 +82,16 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   // prehashed path (booked identically to per-key Insert).
   InstrumentedHashTable table(spec.build->num_rows(), pmu);
   result.table_base = table.slots_base();
-  const uint8_t* key_data =
-      static_cast<const uint8_t*>(build_key->data());
-  const uint32_t key_width = static_cast<uint32_t>(build_key->value_width());
   const size_t build_rows = spec.build->num_rows();
   std::vector<int64_t> block_keys(kSimBlockRows);
   std::vector<uint64_t> block_hashes(kSimBlockRows);
+  DecodeScratch decode;
   Status build_error = Status::OK();
   ForEachSimBlock(0, build_rows, [&](size_t block, size_t n) {
     if (!build_error.ok()) return;
-    pmu->OnSequentialLoads(key_data + static_cast<uint64_t>(block) * key_width,
-                           key_width, n);
-    ExtractKeys(*build_key, block, n, block_keys.data());
+    const ScanRun key_run =
+        build_key.ScanBlock(pmu, block, nullptr, n, &decode);
+    ExtractKeys(key_run, n, block_keys.data());
     simd::HashKeys(block_keys.data(), n, block_hashes.data());
     for (size_t j = 0; j < n; ++j) {
       const int64_t key = block_keys[j];
@@ -127,25 +116,15 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
   // batched (SIMD-hashed, prefetched) probe whose booked events equal the
   // per-key lookups, then one payload gather over the matches (in row
   // order, so the double-summation order is block-size independent).
-  const uint8_t* probe_data =
-      static_cast<const uint8_t*>(probe_key->data());
-  const uint32_t probe_width =
-      static_cast<uint32_t>(probe_key->value_width());
-  const uint8_t* payload_data =
-      payload != nullptr ? static_cast<const uint8_t*>(payload->data())
-                         : nullptr;
-  const uint32_t payload_width =
-      payload != nullptr ? static_cast<uint32_t>(payload->value_width()) : 0;
   const size_t probe_rows = spec.probe->num_rows();
   std::vector<uint32_t> match_rows;
   match_rows.reserve(std::min(probe_rows, kSimBlockRows));
   std::vector<int64_t> probe_values(kSimBlockRows);
   std::vector<uint8_t> probe_hits(kSimBlockRows);
   ForEachSimBlock(0, probe_rows, [&](size_t block, size_t n) {
-    pmu->OnSequentialLoads(
-        probe_data + static_cast<uint64_t>(block) * probe_width, probe_width,
-        n);
-    ExtractKeys(*probe_key, block, n, block_keys.data());
+    const ScanRun probe_run =
+        probe_key.ScanBlock(pmu, block, nullptr, n, &decode);
+    ExtractKeys(probe_run, n, block_keys.data());
     table.BatchLookup(block_keys.data(), n, probe_values.data(),
                       probe_hits.data());
     match_rows.clear();
@@ -155,12 +134,12 @@ Result<HashJoinResult> ExecuteHashJoin(const HashJoinSpec& spec, Pmu* pmu) {
         match_rows.push_back(static_cast<uint32_t>(probe_values[j]));
       }
     }
-    if (payload != nullptr && !match_rows.empty()) {
-      pmu->OnGatherLoads(payload_data, payload_width, match_rows.data(),
-                         match_rows.size());
+    if (has_payload && !match_rows.empty()) {
+      const ScanRun payload_run = payload.GatherRows(
+          pmu, match_rows.data(), match_rows.size(), &decode);
       pmu->OnInstructions(match_rows.size());  // the accumulates
-      for (const uint32_t build_row : match_rows) {
-        result.payload_sum += ValueAt(*payload, build_row);
+      for (size_t j = 0; j < match_rows.size(); ++j) {
+        result.payload_sum += ScanRunValueAsDouble(payload_run, j);
       }
     }
   });

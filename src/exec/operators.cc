@@ -32,19 +32,17 @@ std::string_view PredicateFormToString(PredicateForm form) {
 
 size_t EvalPredicateBlock(const PredicateEvalArgs& args,
                           SelectionScratch* scratch) {
-  NIPO_CHECK(args.pmu != nullptr && scratch != nullptr);
+  NIPO_CHECK(args.pmu != nullptr && scratch != nullptr &&
+             args.column != nullptr);
   Pmu* pmu = args.pmu;
   const size_t active = scratch->active();
   if (active == 0) return 0;
-  const uint8_t* block_base =
-      args.column.data +
-      static_cast<uint64_t>(args.block_begin) * args.column.width;
   const uint32_t* sel = scratch->sel();
-  if (sel == nullptr) {
-    pmu->OnSequentialLoads(block_base, args.column.width, active);
-  } else {
-    pmu->OnGatherLoads(block_base, args.column.width, sel, active);
-  }
+  // The view books the column loads: the same sequential/gather runs as
+  // the historical raw path for plain columns, the encoded bytes
+  // actually touched (plus decode instructions) for compressed ones.
+  const ScanRun run =
+      args.column->ScanBlock(pmu, args.block_begin, sel, active, args.decode);
   if (args.form == PredicateForm::kBranching) {
     pmu->OnInstructions(static_cast<uint64_t>(args.compare_instructions) *
                         active);
@@ -60,9 +58,12 @@ size_t EvalPredicateBlock(const PredicateEvalArgs& args,
   }
   uint8_t* pass = scratch->pass();
   uint32_t* next_sel = scratch->next_sel();
-  const size_t passed = simd::CompareSelect(
-      args.column.type, args.column.data, args.block_begin, args.op,
-      args.value, sel, sel, active, pass, next_sel);
+  // The kernel reads element j at run.base_row + (run.gather ?
+  // run.gather[j] : j); survivor ids stay `sel` so committed offsets
+  // remain block-relative rows even when the run is a decoded buffer.
+  const size_t passed =
+      simd::CompareSelect(run.type, run.data, run.base_row, args.op,
+                          args.value, run.gather, sel, active, pass, next_sel);
   if (args.post_eval_instructions > 0) {
     pmu->OnInstructions(static_cast<uint64_t>(args.post_eval_instructions) *
                         active);

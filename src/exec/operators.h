@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/compare.h"
 #include "hw/pmu.h"
+#include "storage/column_view.h"
 #include "storage/table.h"
 
 /// \file operators.h
@@ -19,30 +21,8 @@
 
 namespace nipo {
 
-/// Comparison operator of a predicate.
-enum class CompareOp : int { kLt, kLe, kGt, kGe, kEq, kNe };
-
-std::string_view CompareOpToString(CompareOp op);
-
-/// \brief Evaluates `lhs op rhs` on doubles (columns are converted; all
-/// column domains in this repository are exactly representable).
-inline bool EvaluateCompare(double lhs, CompareOp op, double rhs) {
-  switch (op) {
-    case CompareOp::kLt:
-      return lhs < rhs;
-    case CompareOp::kLe:
-      return lhs <= rhs;
-    case CompareOp::kGt:
-      return lhs > rhs;
-    case CompareOp::kGe:
-      return lhs >= rhs;
-    case CompareOp::kEq:
-      return lhs == rhs;
-    case CompareOp::kNe:
-      return lhs != rhs;
-  }
-  return false;
-}
+// CompareOp / EvaluateCompare live in common/compare.h (shared with the
+// storage layer's zone maps); re-exported here through the include.
 
 /// \brief A selection predicate `column op value` on the fact table.
 struct PredicateSpec {
@@ -124,14 +104,6 @@ enum class PredicateForm : int {
 
 std::string_view PredicateFormToString(PredicateForm form);
 
-/// \brief A bound typed column: raw data pointer plus layout, the common
-/// currency of the executors' block loops.
-struct BoundColumnRef {
-  const uint8_t* data = nullptr;
-  uint32_t width = 0;
-  DataType type = DataType::kInt32;
-};
-
 /// \brief Runs `fn(block_begin, n)` over [begin, end) in kSimBlockRows
 /// blocks -- the outer skeleton shared by every blocked executor.
 template <typename Fn>
@@ -209,9 +181,14 @@ class SelectionScratch {
 /// executor layers pass their constants explicitly.
 struct PredicateEvalArgs {
   Pmu* pmu = nullptr;
-  size_t branch_site = 0;         ///< PMU site of this predicate position
-  BoundColumnRef column;
-  size_t block_begin = 0;         ///< first row of the block
+  size_t branch_site = 0;  ///< PMU site of this predicate position
+  /// The column scanned, through the storage view API; the view books
+  /// the loads (encoded bytes for compressed columns) and hands back the
+  /// run the SIMD kernel evaluates.
+  const ColumnView* column = nullptr;
+  /// Decode buffers for encoded columns (untouched for plain ones).
+  DecodeScratch* decode = nullptr;
+  size_t block_begin = 0;  ///< first row of the block
   CompareOp op = CompareOp::kLe;
   double value = 0.0;
   double extra_instructions = 0.0;

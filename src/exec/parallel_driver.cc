@@ -230,6 +230,7 @@ Result<ParallelDriveResult> ParallelDriver::Run(
   for (size_t m = 0; m < num_morsels; ++m) {
     out.merged.input_tuples += results[m].input_tuples;
     out.merged.qualifying_tuples += results[m].qualifying_tuples;
+    out.merged.zone_skipped_tuples += results[m].zone_skipped;
     out.merged.aggregate += results[m].aggregate;
   }
   // Executed morsels, not the table's morsel count: a cancelled or

@@ -18,34 +18,35 @@ namespace nipo {
 
 namespace {
 
-Status CheckColumn(const Table& table, const std::string& name,
-                   const ColumnBase** out) {
+Status BindColumn(const Table& table, const std::string& name,
+                  ColumnView* out) {
   auto col = table.GetColumn(name);
   if (!col.ok()) return col.status();
-  *out = col.ValueOrDie();
+  NIPO_ASSIGN_OR_RETURN(*out, ColumnView::Bind(col.ValueOrDie()));
   return Status::OK();
 }
 
 template <typename T>
-void ProductLoop(const uint8_t* data, size_t base_row, const uint32_t* sel,
-                 size_t active, double* prod) {
-  const T* base = reinterpret_cast<const T*>(data) + base_row;
+void ProductLoop(const ScanRun& run, size_t active, double* prod) {
+  const T* base = reinterpret_cast<const T*>(run.data) + run.base_row;
   for (size_t j = 0; j < active; ++j) {
-    prod[j] *= static_cast<double>(base[sel[j]]);
+    const size_t offset = run.gather ? run.gather[j] : j;
+    prod[j] *= static_cast<double>(base[offset]);
   }
 }
 
-void ProductDispatch(DataType type, const uint8_t* data, size_t base_row,
-                     const uint32_t* sel, size_t active, double* prod) {
-  switch (type) {
+/// Multiplies the run's elements into prod[]: run.gather carries the
+/// selection for plain columns; decoded runs are already dense in j.
+void ProductDispatch(const ScanRun& run, size_t active, double* prod) {
+  switch (run.type) {
     case DataType::kInt32:
-      ProductLoop<int32_t>(data, base_row, sel, active, prod);
+      ProductLoop<int32_t>(run, active, prod);
       return;
     case DataType::kInt64:
-      ProductLoop<int64_t>(data, base_row, sel, active, prod);
+      ProductLoop<int64_t>(run, active, prod);
       return;
     case DataType::kDouble:
-      ProductLoop<double>(data, base_row, sel, active, prod);
+      ProductLoop<double>(run, active, prod);
       return;
   }
 }
@@ -110,36 +111,25 @@ Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Compile(
     c.kind = spec.kind;
     c.original_index = i;
     if (spec.kind == OperatorSpec::Kind::kPredicate) {
-      const ColumnBase* col = nullptr;
-      NIPO_RETURN_NOT_OK(CheckColumn(table, spec.predicate.column, &col));
-      c.data = static_cast<const uint8_t*>(col->data());
-      c.width = static_cast<uint32_t>(col->value_width());
-      c.type = col->type();
+      NIPO_RETURN_NOT_OK(BindColumn(table, spec.predicate.column, &c.column));
       c.op = spec.predicate.op;
       c.value = spec.predicate.value;
       c.extra_instructions = spec.predicate.extra_instructions;
+      c.prunable_fraction = c.column.ZonePrunableFraction(c.op, c.value);
     } else {
       if (spec.probe.dimension == nullptr) {
         return Status::InvalidArgument("FK probe without dimension table");
       }
-      const ColumnBase* fk = nullptr;
-      NIPO_RETURN_NOT_OK(CheckColumn(table, spec.probe.fk_column, &fk));
-      if (fk->type() != DataType::kInt32) {
+      NIPO_RETURN_NOT_OK(BindColumn(table, spec.probe.fk_column, &c.column));
+      if (c.column.type() != DataType::kInt32) {
         return Status::TypeMismatch("FK column '" + spec.probe.fk_column +
                                     "' must be int32 (positional key)");
       }
-      const ColumnBase* dim = nullptr;
-      NIPO_RETURN_NOT_OK(
-          CheckColumn(*spec.probe.dimension, spec.probe.filter_column, &dim));
-      c.data = static_cast<const uint8_t*>(fk->data());
-      c.width = static_cast<uint32_t>(fk->value_width());
-      c.type = fk->type();
+      NIPO_RETURN_NOT_OK(BindColumn(*spec.probe.dimension,
+                                    spec.probe.filter_column, &c.dim_column));
       c.op = spec.probe.op;
       c.value = spec.probe.value;
-      c.dim_data = static_cast<const uint8_t*>(dim->data());
-      c.dim_width = static_cast<uint32_t>(dim->value_width());
-      c.dim_type = dim->type();
-      c.dim_rows = dim->size();
+      c.dim_rows = c.dim_column.size();
       // 2^31 (not 2^32): AVX2 gathers sign-extend their 32-bit indices,
       // so probe keys must stay in the non-negative int32 range.
       if (c.dim_rows > (uint64_t{1} << 31)) {
@@ -151,12 +141,8 @@ Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Compile(
   }
 
   for (const std::string& name : payload_columns) {
-    const ColumnBase* col = nullptr;
-    NIPO_RETURN_NOT_OK(CheckColumn(table, name, &col));
     CompiledPayload p;
-    p.data = static_cast<const uint8_t*>(col->data());
-    p.width = static_cast<uint32_t>(col->value_width());
-    p.type = col->type();
+    NIPO_RETURN_NOT_OK(BindColumn(table, name, &p.column));
     exec->payloads_.push_back(p);
   }
 
@@ -168,22 +154,6 @@ Result<std::unique_ptr<PipelineExecutor>> PipelineExecutor::Compile(
   exec->loop_site_ = exec->all_ops_.size();
   pmu->EnsureBranchSites(exec->all_ops_.size() + 1);
   return exec;
-}
-
-double PipelineExecutor::LoadValue(const uint8_t* data, uint32_t width,
-                                   DataType type, size_t row) {
-  const uint8_t* addr = data + static_cast<uint64_t>(row) * width;
-  switch (type) {
-    case DataType::kInt32:
-      return static_cast<double>(
-          *reinterpret_cast<const int32_t*>(addr));
-    case DataType::kInt64:
-      return static_cast<double>(
-          *reinterpret_cast<const int64_t*>(addr));
-    case DataType::kDouble:
-      return *reinterpret_cast<const double*>(addr);
-  }
-  return 0.0;
 }
 
 VectorResult PipelineExecutor::ExecuteRange(size_t begin, size_t end) {
@@ -198,10 +168,36 @@ VectorResult PipelineExecutor::ExecuteRange(size_t begin, size_t end) {
   return result;
 }
 
+bool PipelineExecutor::ZoneSkipBlock(size_t block_begin, size_t n) {
+  // Zone-map prologue: a predicate whose per-storage-block min/max
+  // refute every overlapped block proves the whole execution block dead
+  // before any per-tuple work. Checks consult zone maps in evaluation
+  // order and stop at the first refutation; each consulted map books
+  // StorageCostModel::kZoneCheckInstructions. Plain columns have no
+  // zone maps, so this books nothing and skips nothing -- the
+  // encodings-off counter stream is untouched.
+  for (const CompiledOp& op : compiled_) {
+    if (op.kind != OperatorSpec::Kind::kPredicate) continue;
+    if (!op.column.has_zone_maps()) continue;
+    const size_t checks = op.column.ZoneChecksForRange(block_begin, n);
+    pmu_->OnInstructions(
+        static_cast<uint64_t>(StorageCostModel::kZoneCheckInstructions) *
+        checks);
+    if (op.column.ZoneRefutesRange(block_begin, n, op.op, op.value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
                                     VectorResult* result) {
   const size_t num_ops = compiled_.size();
   const bool enumerator = mode_ == InstrumentationMode::kEnumerator;
+  if (ZoneSkipBlock(block_begin, n)) {
+    result->zone_skipped += n;
+    return;
+  }
   pmu_->OnInstructions(
       static_cast<uint64_t>(LoopCostModel::kLoopInstructions) * n);
 
@@ -215,7 +211,8 @@ void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
       PredicateEvalArgs args;
       args.pmu = pmu_;
       args.branch_site = pos;
-      args.column = {op.data, op.width, op.type};
+      args.column = &op.column;
+      args.decode = &decode_fact_;
       args.block_begin = block_begin;
       args.op = op.op;
       args.value = op.value;
@@ -236,45 +233,39 @@ void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
       // inherent to the probe loop).
       const size_t active = scratch_.active();
       const uint32_t* sel = scratch_.sel();
-      const uint8_t* block_base =
-          op.data + static_cast<uint64_t>(block_begin) * op.width;
-      if (sel == nullptr) {
-        pmu_->OnSequentialLoads(block_base, op.width, active);
-      } else {
-        pmu_->OnGatherLoads(block_base, op.width, sel, active);
-      }
+      const ScanRun fk_run =
+          op.column.ScanBlock(pmu_, block_begin, sel, active, &decode_fact_);
       pmu_->OnInstructions(
           static_cast<uint64_t>(LoopCostModel::kProbeAddressInstructions) *
           active);
       keys_.resize(active);
-      const int32_t* fk =
-          reinterpret_cast<const int32_t*>(op.data) + block_begin;
       for (size_t j = 0; j < active; ++j) {
-        const uint32_t offset = sel ? sel[j] : static_cast<uint32_t>(j);
-        const uint64_t key =
-            static_cast<uint64_t>(static_cast<int64_t>(fk[offset]));
+        const int64_t fk_value = ScanRunValueAsInt64(fk_run, j);
+        const uint64_t key = static_cast<uint64_t>(fk_value);
         if (key >= op.dim_rows) {
           // Data-dependent and only discoverable here: latch instead of
           // aborting, before anything dereferences the dimension column
           // at the bad key. The drivers turn the latch into a failed
           // query; the block's partial work stays accounted.
+          const uint32_t offset = sel ? sel[j] : static_cast<uint32_t>(j);
           error_ = Status::OutOfRange(
-              "FK value " + std::to_string(fk[offset]) + " at row " +
+              "FK value " + std::to_string(fk_value) + " at row " +
               std::to_string(block_begin + offset) + " outside dimension (" +
               std::to_string(op.dim_rows) + " rows)");
           return;
         }
         keys_[j] = static_cast<uint32_t>(key);
       }
-      pmu_->OnGatherLoads(op.dim_data, op.dim_width, keys_.data(), active);
+      const ScanRun dim_run =
+          op.dim_column.GatherRows(pmu_, keys_.data(), active, &decode_dim_);
       pmu_->OnInstructions(
           static_cast<uint64_t>(LoopCostModel::kCompareInstructions) *
           active);
       uint8_t* pass = scratch_.pass();
       uint32_t* next_sel = scratch_.next_sel();
       const size_t passed = simd::CompareSelect(
-          op.dim_type, op.dim_data, /*base_row=*/0, op.op, op.value,
-          keys_.data(), sel, active, pass, next_sel);
+          dim_run.type, dim_run.data, dim_run.base_row, op.op, op.value,
+          dim_run.gather, sel, active, pass, next_sel);
       if (enumerator) {
         pmu_->OnInstructions(
             static_cast<uint64_t>(LoopCostModel::kEnumeratorInstructions) *
@@ -295,11 +286,10 @@ void PipelineExecutor::ExecuteBlock(size_t block_begin, size_t n,
     const uint32_t* sel = scratch_.sel();
     prod_.assign(active, 1.0);
     for (const CompiledPayload& payload : payloads_) {
-      pmu_->OnGatherLoads(
-          payload.data + static_cast<uint64_t>(block_begin) * payload.width,
-          payload.width, sel, active);
-      ProductDispatch(payload.type, payload.data, block_begin, sel, active,
-                      prod_.data());
+      const ScanRun run =
+          payload.column.ScanBlock(pmu_, block_begin, sel, active,
+                                   &decode_fact_);
+      ProductDispatch(run, active, prod_.data());
     }
     pmu_->OnInstructions(
         static_cast<uint64_t>(LoopCostModel::kAggregateInstructions) *
@@ -365,6 +355,47 @@ PredicateForm PipelineExecutor::FormAt(size_t pos) const {
 const OperatorSpec& PipelineExecutor::OperatorAt(size_t pos) const {
   NIPO_CHECK(pos < compiled_.size());
   return specs_[compiled_[pos].original_index];
+}
+
+double PipelineExecutor::ZonePrunableFractionAt(size_t pos) const {
+  NIPO_CHECK(pos < compiled_.size());
+  return compiled_[pos].prunable_fraction;
+}
+
+namespace {
+
+ColumnScanStats StatsOf(const ColumnView& view) {
+  ColumnScanStats stats;
+  stats.value_width = view.value_width();
+  stats.scan_bytes_per_value = view.scan_bytes_per_value();
+  stats.decode_instructions = view.decode_instructions_per_value();
+  stats.encoded = view.encoded();
+  return stats;
+}
+
+}  // namespace
+
+ColumnScanStats PipelineExecutor::ColumnStatsAt(size_t pos) const {
+  NIPO_CHECK(pos < compiled_.size());
+  return StatsOf(compiled_[pos].column);
+}
+
+ColumnScanStats PipelineExecutor::PayloadStatsAt(size_t i) const {
+  NIPO_CHECK(i < payloads_.size());
+  return StatsOf(payloads_[i].column);
+}
+
+bool PipelineExecutor::AnyEncodedColumn() const {
+  for (const CompiledOp& op : all_ops_) {
+    if (op.column.encoded()) return true;
+    if (op.kind == OperatorSpec::Kind::kFkProbe && op.dim_column.encoded()) {
+      return true;
+    }
+  }
+  for (const CompiledPayload& payload : payloads_) {
+    if (payload.column.encoded()) return true;
+  }
+  return false;
 }
 
 void PipelineExecutor::ResetEnumeratorCounts() {

@@ -40,6 +40,19 @@ struct VectorResult {
   /// Sum over qualifying tuples of the product of the payload columns
   /// (e.g. Q6's sum(l_extendedprice * l_discount)).
   double aggregate = 0.0;
+  /// Input tuples proven dead by a zone map before any per-tuple work
+  /// (whole execution blocks skipped; subset of input_tuples). Always 0
+  /// over plain columns.
+  uint64_t zone_skipped = 0;
+};
+
+/// \brief Per-column storage costs as the executor sees them, consumed
+/// by the progressive optimizer's scan shapes (cost/counter_model).
+struct ColumnScanStats {
+  uint32_t value_width = 0;            ///< native (decoded) width
+  double scan_bytes_per_value = 0.0;   ///< encoded bytes a scan touches
+  double decode_instructions = 0.0;    ///< per decoded value
+  bool encoded = false;
 };
 
 /// \brief Compiled pipeline over one fact table.
@@ -105,40 +118,57 @@ class PipelineExecutor {
 
   Pmu* pmu() const { return pmu_; }
 
+  /// Fraction of the table's rows that the zone maps of the operator
+  /// currently at `pos` prove dead against its predicate (0 for plain
+  /// columns and FK probes) -- the optimizer's skip-potential signal.
+  double ZonePrunableFractionAt(size_t pos) const;
+
+  /// Storage scan stats of the fact-side column of the operator
+  /// currently at `pos`.
+  ColumnScanStats ColumnStatsAt(size_t pos) const;
+
+  /// Storage scan stats of payload column `i`.
+  ColumnScanStats PayloadStatsAt(size_t i) const;
+  size_t num_payloads() const { return payloads_.size(); }
+
+  /// True iff any scanned column (operator or payload) is encoded; the
+  /// optimizer only switches to storage-aware scan shapes when so,
+  /// keeping plain-column decision traces bit-identical to the
+  /// pre-storage-layer ones.
+  bool AnyEncodedColumn() const;
+
  private:
   struct CompiledOp {
     OperatorSpec::Kind kind;
-    // Fact-side column.
-    const uint8_t* data = nullptr;
-    uint32_t width = 0;
-    DataType type = DataType::kInt32;
+    // Fact-side column, scanned through the storage view API.
+    ColumnView column;
     CompareOp op = CompareOp::kLe;
     double value = 0.0;
     double extra_instructions = 0.0;
     PredicateForm form = PredicateForm::kBranching;
+    // Predicates: fraction of rows in zone-refuted blocks (0 without
+    // zone maps), computed once at Compile.
+    double prunable_fraction = 0.0;
     // FK probe: dimension-side column.
-    const uint8_t* dim_data = nullptr;
-    uint32_t dim_width = 0;
-    DataType dim_type = DataType::kInt32;
+    ColumnView dim_column;
     uint64_t dim_rows = 0;
     // Original index in the spec list (identifies the operator across
     // reorders).
     size_t original_index = 0;
   };
   struct CompiledPayload {
-    const uint8_t* data = nullptr;
-    uint32_t width = 0;
-    DataType type = DataType::kDouble;
+    ColumnView column;
   };
 
   PipelineExecutor() = default;
 
-  static double LoadValue(const uint8_t* data, uint32_t width, DataType type,
-                          size_t row);
-
   /// Runs one block [block_begin, block_begin + n) and accumulates into
   /// `result`.
   void ExecuteBlock(size_t block_begin, size_t n, VectorResult* result);
+
+  /// Zone-map prologue of a block: true if some predicate's zone maps
+  /// refute it entirely (the caller then skips all per-tuple work).
+  bool ZoneSkipBlock(size_t block_begin, size_t n);
 
   std::vector<OperatorSpec> specs_;       // original order
   std::vector<CompiledOp> all_ops_;       // original order
@@ -160,6 +190,11 @@ class PipelineExecutor {
   SelectionScratch scratch_;
   std::vector<uint32_t> keys_;
   std::vector<double> prod_;
+  // Decode buffers for encoded columns: fact-side scans and payloads use
+  // decode_fact_, the probe's dimension gather uses decode_dim_ (both
+  // live at once inside a probe).
+  DecodeScratch decode_fact_;
+  DecodeScratch decode_dim_;
 };
 
 /// \brief Instruction-cost constants of the generated loop; shared by the

@@ -37,6 +37,7 @@ DriveResult VectorDriver::Run(const VectorHook& hook) {
     const VectorResult r = executor_->ExecuteRange(begin, end);
     out.input_tuples += r.input_tuples;
     out.qualifying_tuples += r.qualifying_tuples;
+    out.zone_skipped_tuples += r.zone_skipped;
     out.aggregate += r.aggregate;
     if (hook) {
       pmu->ChargeCycles(kCounterReadCycles);

@@ -25,6 +25,9 @@ struct VectorSample {
 struct DriveResult {
   uint64_t input_tuples = 0;
   uint64_t qualifying_tuples = 0;
+  /// Tuples skipped by zone maps before per-tuple work (subset of
+  /// input_tuples; 0 without encoded columns).
+  uint64_t zone_skipped_tuples = 0;
   double aggregate = 0.0;
   PmuCounters total;          ///< sum over all vectors
   double simulated_msec = 0;  ///< total simulated run-time

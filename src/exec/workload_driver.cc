@@ -107,6 +107,7 @@ void ExecuteOneVector(QueryRun* run) {
     const VectorResult r = run->exec->ExecuteRange(begin, end);
     run->drive.input_tuples += r.input_tuples;
     run->drive.qualifying_tuples += r.qualifying_tuples;
+    run->drive.zone_skipped_tuples += r.zone_skipped;
     run->drive.aggregate += r.aggregate;
     run->pmu->ChargeCycles(kCounterReadCycles);
     VectorSample sample;
@@ -118,6 +119,7 @@ void ExecuteOneVector(QueryRun* run) {
     const VectorResult r = run->exec->ExecuteRange(begin, end);
     run->drive.input_tuples += r.input_tuples;
     run->drive.qualifying_tuples += r.qualifying_tuples;
+    run->drive.zone_skipped_tuples += r.zone_skipped;
     run->drive.aggregate += r.aggregate;
   }
   ++run->vector_index;

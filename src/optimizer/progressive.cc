@@ -32,23 +32,40 @@ ScanShape ShapeForOrder(const PipelineExecutor& exec, double num_tuples) {
   shape.num_tuples = num_tuples;
   shape.predictor = exec.pmu()->config().predictor;
   shape.cache.line_size = exec.pmu()->config().l1.line_size;
+  // Over plain storage the historical fixed widths (4-byte predicates,
+  // 8+4-byte Q6-style payloads) are kept bit-for-bit: the estimator only
+  // needs the same shape for sampling and prediction. Once any column is
+  // encoded the real per-column scan widths matter -- a packed column
+  // streams fewer bytes per value -- so the shape switches to the
+  // executor's actual storage stats.
+  const bool encoded = exec.AnyEncodedColumn();
   for (size_t pos = 0; pos < exec.num_operators(); ++pos) {
-    const OperatorSpec& op = exec.OperatorAt(pos);
     // A probe behaves like a predicate on its (int32) FK column for branch
     // purposes; its dimension-side cache traffic is handled separately.
-    (void)op;
-    shape.predicate_widths.push_back(4);
+    if (encoded) {
+      const ColumnScanStats stats = exec.ColumnStatsAt(pos);
+      shape.predicate_widths.push_back(stats.value_width);
+      shape.predicate_packed_bytes.push_back(
+          stats.encoded ? stats.scan_bytes_per_value : 0.0);
+    } else {
+      shape.predicate_widths.push_back(4);
+    }
     // Predicates currently running branch-free book no branch events; the
     // counter prediction must mirror that or the estimator would chase
     // branches the executor never produces.
     shape.branch_free.push_back(exec.FormAt(pos) ==
                                 PredicateForm::kBranchFree);
   }
-  // Payload widths are not tracked per-column by the executor's public
-  // API; Q6-style payloads are 8 + 4 bytes. The estimator tolerates this
-  // as long as the same shape is used for sampling and prediction; we use
-  // the branch counters as primary signal when probes are present.
-  shape.payload_widths = {8, 4};
+  if (encoded) {
+    for (size_t i = 0; i < exec.num_payloads(); ++i) {
+      const ColumnScanStats stats = exec.PayloadStatsAt(i);
+      shape.payload_widths.push_back(stats.value_width);
+      shape.payload_packed_bytes.push_back(
+          stats.encoded ? stats.scan_bytes_per_value : 0.0);
+    }
+  } else {
+    shape.payload_widths = {8, 4};
+  }
   return shape;
 }
 
@@ -58,7 +75,12 @@ Result<SelectivityEstimate> EstimateOrderSelectivities(
     const PipelineExecutor& exec, const ProgressiveConfig& config,
     const VectorSample& sample) {
   CounterSample cs;
-  cs.tuples_in = static_cast<double>(sample.result.input_tuples);
+  // Tuples pruned by zone maps never reached per-tuple work, so the
+  // sampled branch/cache counters describe only the surviving tuples --
+  // feed the estimator that population or it would infer selectivities
+  // against work that never happened.
+  cs.tuples_in = static_cast<double>(sample.result.input_tuples -
+                                     sample.result.zone_skipped);
   cs.tuples_out = static_cast<double>(sample.result.qualifying_tuples);
   cs.counters.branches_not_taken =
       static_cast<double>(sample.counters.branches_not_taken);
@@ -105,9 +127,11 @@ std::vector<size_t> RankOrderOperators(
 
   // Misses attributable to probes: the sampled total minus what the fact-
   // side scan is predicted to cost (cold columns miss once per fetched
-  // line, so scan misses ~ scan accesses).
-  const ScanShape shape =
-      ShapeForOrder(exec, static_cast<double>(sample.result.input_tuples));
+  // line, so scan misses ~ scan accesses). Zone-skipped tuples did no
+  // per-tuple work, so they are excluded from the scanned population.
+  const double surviving_tuples = static_cast<double>(
+      sample.result.input_tuples - sample.result.zone_skipped);
+  const ScanShape shape = ShapeForOrder(exec, surviving_tuples);
   const double scan_accesses =
       PredictCounters(shape, selectivities).l3_accesses;
   const double probe_misses = std::max(
@@ -139,14 +163,23 @@ std::vector<size_t> RankOrderOperators(
           cost[pos] = prices.branching;
         }
       }
+      // Zone-map-prunable predicates are cheaper than their per-tuple
+      // price suggests when evaluated first: every block they refute is
+      // skipped wholesale before any operator runs. Discount their cost
+      // by the prunable fraction (floored so a fully prunable predicate
+      // still carries a nonzero price); plain columns have no zone maps
+      // and keep their exact legacy cost.
+      const double prunable = exec.ZonePrunableFractionAt(pos);
+      if (prunable > 0.0) {
+        cost[pos] *= std::max(0.05, 1.0 - prunable);
+      }
     } else {
       // Probe cost: base plus a miss-informed component (Section 5.5-5.6).
       ProbeObservation obs;
       obs.relation.num_tuples =
           static_cast<double>(op.probe.dimension->num_rows());
       obs.relation.tuple_width = 8.0;
-      obs.num_probes =
-          reach * static_cast<double>(sample.result.input_tuples);
+      obs.num_probes = reach * surviving_tuples;
       obs.sampled_l3_misses =
           probe_misses / static_cast<double>(std::max<size_t>(1, probe_count));
       const SortednessVerdict verdict =

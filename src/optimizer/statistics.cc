@@ -182,6 +182,7 @@ void SampleMerger::Add(const VectorSample& sample) {
   merged_.vector_index = std::max(merged_.vector_index, sample.vector_index);
   merged_.result.input_tuples += sample.result.input_tuples;
   merged_.result.qualifying_tuples += sample.result.qualifying_tuples;
+  merged_.result.zone_skipped += sample.result.zone_skipped;
   merged_.result.aggregate += sample.result.aggregate;
   merged_.counters += sample.counters;
   ++count_;

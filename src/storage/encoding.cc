@@ -1,0 +1,482 @@
+#include "storage/encoding.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+/// \file encoding.cc
+/// Per-block encoding selection and the decode paths. Everything here is
+/// deterministic: dictionaries are sorted by value bit pattern (total
+/// order even for NaN doubles), encodings are chosen by strict byte-size
+/// comparison, and decode is bit-exact for every type -- the repo's
+/// bit-equality gates rely on encode(decode(x)) == x at the uint64 level.
+
+namespace nipo {
+
+namespace {
+
+/// Total-order bit pattern of a value: the dictionary sort key. Using the
+/// raw pattern (not operator<) keeps NaN and -0.0 doubles deterministic
+/// and round-trip exact.
+inline uint64_t PatternOf(int32_t v) {
+  return static_cast<uint64_t>(static_cast<uint32_t>(v));
+}
+inline uint64_t PatternOf(int64_t v) { return static_cast<uint64_t>(v); }
+inline uint64_t PatternOf(double v) { return std::bit_cast<uint64_t>(v); }
+
+template <typename T>
+inline T FromPattern(uint64_t pattern);
+template <>
+inline int32_t FromPattern<int32_t>(uint64_t pattern) {
+  return static_cast<int32_t>(static_cast<uint32_t>(pattern));
+}
+template <>
+inline int64_t FromPattern<int64_t>(uint64_t pattern) {
+  return static_cast<int64_t>(pattern);
+}
+template <>
+inline double FromPattern<double>(uint64_t pattern) {
+  return std::bit_cast<double>(pattern);
+}
+
+template <typename T>
+inline double AsDouble(T v) {
+  return static_cast<double>(v);
+}
+
+constexpr bool IsIntegerType(DataType type) {
+  return type == DataType::kInt32 || type == DataType::kInt64;
+}
+
+uint32_t CodeWidthFor(size_t dict_size) {
+  if (dict_size <= (size_t{1} << 8)) return 1;
+  if (dict_size <= (size_t{1} << 16)) return 2;
+  return 4;
+}
+
+inline uint32_t ReadCode(const uint8_t* codes, uint32_t code_width,
+                         size_t index) {
+  const uint8_t* p = codes + static_cast<uint64_t>(index) * code_width;
+  switch (code_width) {
+    case 1:
+      return *p;
+    case 2: {
+      uint16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    default: {
+      uint32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+  }
+}
+
+inline void WriteCode(uint8_t* codes, uint32_t code_width, size_t index,
+                      uint32_t code) {
+  uint8_t* p = codes + static_cast<uint64_t>(index) * code_width;
+  switch (code_width) {
+    case 1:
+      *p = static_cast<uint8_t>(code);
+      return;
+    case 2: {
+      const uint16_t v = static_cast<uint16_t>(code);
+      std::memcpy(p, &v, 2);
+      return;
+    }
+    default:
+      std::memcpy(p, &code, 4);
+      return;
+  }
+}
+
+/// Encodes one block of `n` values starting at `src`, choosing the
+/// smallest representation, and fills the zone map over the double-cast
+/// values (the domain the selection kernels compare in).
+template <typename T>
+void EncodeBlock(const T* src, size_t row_begin, size_t n,
+                 const EncodingOptions& options, EncodedBlock* block,
+                 ZoneMapEntry* zone) {
+  constexpr size_t kWidth = sizeof(T);
+  block->row_begin = row_begin;
+  block->row_count = n;
+  zone->row_begin = row_begin;
+  zone->row_count = n;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = AsDouble(src[i]);
+    if (std::isnan(d)) {
+      zone->has_nan = true;
+      continue;
+    }
+    zone->min = std::min(zone->min, d);
+    zone->max = std::max(zone->max, d);
+  }
+
+  const size_t plain_bytes = n * kWidth;
+
+  // Dictionary candidate: sorted unique bit patterns.
+  std::vector<uint64_t> patterns;
+  size_t dict_bytes = 0;
+  bool dict_ok = false;
+  if (options.enable_dictionary) {
+    patterns.reserve(std::min(n, options.max_dictionary_values + 1));
+    for (size_t i = 0; i < n; ++i) patterns.push_back(PatternOf(src[i]));
+    std::sort(patterns.begin(), patterns.end());
+    patterns.erase(std::unique(patterns.begin(), patterns.end()),
+                   patterns.end());
+    if (patterns.size() <= options.max_dictionary_values) {
+      dict_bytes = n * CodeWidthFor(patterns.size()) +
+                   patterns.size() * kWidth;
+      dict_ok = true;
+    }
+  }
+
+  // Frame-of-reference bit-packing candidate (integers only). The range
+  // is computed in uint64 so int64 extremes wrap correctly; a range
+  // needing the full native width never beats plain by size.
+  uint32_t bit_width = 0;
+  int64_t frame_base = 0;
+  size_t pack_bytes = 0;
+  bool pack_ok = false;
+  if (options.enable_bit_packing && IsIntegerType(DataTypeOf<T>::value) &&
+      n > 0) {
+    int64_t lo = static_cast<int64_t>(src[0]);
+    int64_t hi = lo;
+    for (size_t i = 1; i < n; ++i) {
+      const int64_t v = static_cast<int64_t>(src[i]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const uint64_t range =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    bit_width = static_cast<uint32_t>(std::bit_width(range));
+    frame_base = lo;
+    pack_bytes = ((n * static_cast<size_t>(bit_width) + 63) / 64) * 8;
+    pack_ok = true;
+  }
+
+  size_t best_bytes = plain_bytes;
+  BlockEncoding encoding = BlockEncoding::kPlain;
+  if (dict_ok && dict_bytes < best_bytes) {
+    best_bytes = dict_bytes;
+    encoding = BlockEncoding::kDictionary;
+  }
+  if (pack_ok && pack_bytes < best_bytes) {
+    best_bytes = pack_bytes;
+    encoding = BlockEncoding::kBitPacked;
+  }
+
+  block->encoding = encoding;
+  switch (encoding) {
+    case BlockEncoding::kPlain: {
+      block->plain.resize(plain_bytes);
+      std::memcpy(block->plain.data(), src, plain_bytes);
+      return;
+    }
+    case BlockEncoding::kDictionary: {
+      block->code_width = CodeWidthFor(patterns.size());
+      block->dict_size = patterns.size();
+      block->dict.resize(patterns.size() * kWidth);
+      for (size_t i = 0; i < patterns.size(); ++i) {
+        const T v = FromPattern<T>(patterns[i]);
+        std::memcpy(block->dict.data() + i * kWidth, &v, kWidth);
+      }
+      block->codes.resize(n * block->code_width);
+      for (size_t i = 0; i < n; ++i) {
+        const auto it = std::lower_bound(patterns.begin(), patterns.end(),
+                                         PatternOf(src[i]));
+        WriteCode(block->codes.data(), block->code_width, i,
+                  static_cast<uint32_t>(it - patterns.begin()));
+      }
+      return;
+    }
+    case BlockEncoding::kBitPacked: {
+      block->bit_width = bit_width;
+      block->frame_base = frame_base;
+      if (bit_width > 0) {
+        block->words.assign(
+            (n * static_cast<size_t>(bit_width) + 63) / 64, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const uint64_t offset =
+              static_cast<uint64_t>(static_cast<int64_t>(src[i])) -
+              static_cast<uint64_t>(frame_base);
+          PackBits(block->words.data(), i, bit_width, offset);
+        }
+      }
+      return;
+    }
+  }
+}
+
+template <typename T>
+inline T DecodeOne(const EncodedBlock& block, size_t local_row) {
+  switch (block.encoding) {
+    case BlockEncoding::kPlain: {
+      T v;
+      std::memcpy(&v, block.plain.data() + local_row * sizeof(T), sizeof(T));
+      return v;
+    }
+    case BlockEncoding::kDictionary: {
+      const uint32_t code =
+          ReadCode(block.codes.data(), block.code_width, local_row);
+      T v;
+      std::memcpy(&v, block.dict.data() + code * sizeof(T), sizeof(T));
+      return v;
+    }
+    case BlockEncoding::kBitPacked: {
+      uint64_t offset = 0;
+      if (block.bit_width > 0) {
+        offset = ExtractBits(block.words.data(), local_row, block.bit_width);
+      }
+      return static_cast<T>(static_cast<int64_t>(
+          static_cast<uint64_t>(block.frame_base) + offset));
+    }
+  }
+  return T{};
+}
+
+template <typename T>
+void DecodeBlockRange(const EncodedBlock& block, size_t local_begin,
+                      size_t count, T* out) {
+  switch (block.encoding) {
+    case BlockEncoding::kPlain:
+      std::memcpy(out, block.plain.data() + local_begin * sizeof(T),
+                  count * sizeof(T));
+      return;
+    case BlockEncoding::kDictionary: {
+      const T* dict = reinterpret_cast<const T*>(block.dict.data());
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = dict[ReadCode(block.codes.data(), block.code_width,
+                               local_begin + i)];
+      }
+      return;
+    }
+    case BlockEncoding::kBitPacked: {
+      if (block.bit_width == 0) {
+        const T v = static_cast<T>(block.frame_base);
+        for (size_t i = 0; i < count; ++i) out[i] = v;
+        return;
+      }
+      for (size_t i = 0; i < count; ++i) {
+        const uint64_t offset =
+            ExtractBits(block.words.data(), local_begin + i, block.bit_width);
+        out[i] = static_cast<T>(static_cast<int64_t>(
+            static_cast<uint64_t>(block.frame_base) + offset));
+      }
+      return;
+    }
+  }
+}
+
+double DecodeInstructionsFor(BlockEncoding encoding) {
+  switch (encoding) {
+    case BlockEncoding::kPlain:
+      return 0.0;
+    case BlockEncoding::kDictionary:
+      return StorageCostModel::kDictDecodeInstructions;
+    case BlockEncoding::kBitPacked:
+      return StorageCostModel::kPackDecodeInstructions;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string_view BlockEncodingToString(BlockEncoding encoding) {
+  switch (encoding) {
+    case BlockEncoding::kPlain:
+      return "plain";
+    case BlockEncoding::kDictionary:
+      return "dictionary";
+    case BlockEncoding::kBitPacked:
+      return "bit-packed";
+  }
+  return "?";
+}
+
+bool ZoneRefutes(const ZoneMapEntry& zone, CompareOp op, double value) {
+  // NaN values pass only kNe; min/max cover the non-NaN rows. An empty
+  // non-NaN set (min > max) refutes every op except kNe-with-NaN-present.
+  if (op == CompareOp::kNe) {
+    // Every row fails `!= value` only if every row equals `value`.
+    return !zone.has_nan && zone.min == zone.max && zone.min == value;
+  }
+  if (zone.min > zone.max) return true;  // all NaN: all fail non-kNe ops
+  switch (op) {
+    case CompareOp::kLt:
+      return !(zone.min < value);
+    case CompareOp::kLe:
+      return !(zone.min <= value);
+    case CompareOp::kGt:
+      return !(zone.max > value);
+    case CompareOp::kGe:
+      return !(zone.max >= value);
+    case CompareOp::kEq:
+      return !(zone.min <= value && value <= zone.max);
+    case CompareOp::kNe:
+      break;  // handled above
+  }
+  return false;
+}
+
+size_t EncodedBlock::encoded_bytes() const {
+  switch (encoding) {
+    case BlockEncoding::kPlain:
+      return plain.size();
+    case BlockEncoding::kDictionary:
+      return codes.size() + dict.size();
+    case BlockEncoding::kBitPacked:
+      return words.size() * sizeof(uint64_t);
+  }
+  return 0;
+}
+
+Result<std::unique_ptr<EncodedColumn>> EncodedColumn::Encode(
+    const ColumnBase& source, const EncodingOptions& options) {
+  if (options.block_values == 0) {
+    return Status::InvalidArgument("block_values must be positive");
+  }
+  if (options.max_dictionary_values > (size_t{1} << 31)) {
+    return Status::InvalidArgument("max_dictionary_values exceeds code range");
+  }
+  if (dynamic_cast<const EncodedColumn*>(&source) != nullptr) {
+    return Status::InvalidArgument("column '" + source.name() +
+                                   "' is already encoded");
+  }
+  auto encoded = std::unique_ptr<EncodedColumn>(
+      new EncodedColumn(source.name(), source.type()));
+  encoded->num_values_ = source.size();
+  encoded->block_values_ = options.block_values;
+  const size_t n = source.size();
+  const size_t num_blocks =
+      n == 0 ? 0 : (n + options.block_values - 1) / options.block_values;
+  encoded->blocks_.resize(num_blocks);
+  encoded->zones_.resize(num_blocks);
+  double decode_instructions = 0.0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * options.block_values;
+    const size_t count = std::min(options.block_values, n - begin);
+    switch (source.type()) {
+      case DataType::kInt32:
+        EncodeBlock(static_cast<const int32_t*>(source.data()) + begin, begin,
+                    count, options, &encoded->blocks_[b],
+                    &encoded->zones_[b]);
+        break;
+      case DataType::kInt64:
+        EncodeBlock(static_cast<const int64_t*>(source.data()) + begin, begin,
+                    count, options, &encoded->blocks_[b],
+                    &encoded->zones_[b]);
+        break;
+      case DataType::kDouble:
+        EncodeBlock(static_cast<const double*>(source.data()) + begin, begin,
+                    count, options, &encoded->blocks_[b],
+                    &encoded->zones_[b]);
+        break;
+    }
+    encoded->total_encoded_bytes_ += encoded->blocks_[b].encoded_bytes();
+    decode_instructions +=
+        DecodeInstructionsFor(encoded->blocks_[b].encoding) *
+        static_cast<double>(count);
+  }
+  encoded->decode_instructions_per_value_ =
+      n == 0 ? 0.0 : decode_instructions / static_cast<double>(n);
+  return encoded;
+}
+
+const void* EncodedColumn::data() const {
+  if (blocks_.empty()) return nullptr;
+  const EncodedBlock& b = blocks_.front();
+  switch (b.encoding) {
+    case BlockEncoding::kPlain:
+      return b.plain.data();
+    case BlockEncoding::kDictionary:
+      return b.codes.data();
+    case BlockEncoding::kBitPacked:
+      return b.words.empty() ? nullptr : b.words.data();
+  }
+  return nullptr;
+}
+
+void EncodedColumn::DecodeRange(size_t row_begin, size_t count,
+                                void* out) const {
+  NIPO_CHECK(row_begin + count <= num_values_);
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  size_t row = row_begin;
+  size_t remaining = count;
+  while (remaining > 0) {
+    const size_t b = BlockIndexOf(row);
+    const EncodedBlock& block = blocks_[b];
+    const size_t local = row - block.row_begin;
+    const size_t take = std::min(remaining, block.row_count - local);
+    switch (type()) {
+      case DataType::kInt32:
+        DecodeBlockRange(block, local, take,
+                         reinterpret_cast<int32_t*>(dst));
+        break;
+      case DataType::kInt64:
+        DecodeBlockRange(block, local, take,
+                         reinterpret_cast<int64_t*>(dst));
+        break;
+      case DataType::kDouble:
+        DecodeBlockRange(block, local, take, reinterpret_cast<double*>(dst));
+        break;
+    }
+    dst += take * value_width();
+    row += take;
+    remaining -= take;
+  }
+}
+
+double EncodedColumn::ValueAsDouble(size_t row) const {
+  NIPO_CHECK(row < num_values_);
+  const EncodedBlock& block = blocks_[BlockIndexOf(row)];
+  const size_t local = row - block.row_begin;
+  switch (type()) {
+    case DataType::kInt32:
+      return static_cast<double>(DecodeOne<int32_t>(block, local));
+    case DataType::kInt64:
+      return static_cast<double>(DecodeOne<int64_t>(block, local));
+    case DataType::kDouble:
+      return DecodeOne<double>(block, local);
+  }
+  return 0.0;
+}
+
+int64_t EncodedColumn::ValueAsInt64(size_t row) const {
+  NIPO_CHECK(row < num_values_);
+  const EncodedBlock& block = blocks_[BlockIndexOf(row)];
+  const size_t local = row - block.row_begin;
+  switch (type()) {
+    case DataType::kInt32:
+      return DecodeOne<int32_t>(block, local);
+    case DataType::kInt64:
+      return DecodeOne<int64_t>(block, local);
+    case DataType::kDouble:
+      return static_cast<int64_t>(DecodeOne<double>(block, local));
+  }
+  return 0;
+}
+
+Result<TableEncodingStats> EncodeTableColumns(Table* table,
+                                              const EncodingOptions& options) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  TableEncodingStats stats;
+  for (size_t i = 0; i < table->num_columns(); ++i) {
+    const ColumnBase* column = table->column(i);
+    if (dynamic_cast<const EncodedColumn*>(column) != nullptr) continue;
+    NIPO_ASSIGN_OR_RETURN(std::unique_ptr<EncodedColumn> encoded,
+                          EncodedColumn::Encode(*column, options));
+    stats.plain_bytes += column->size() * column->value_width();
+    stats.encoded_bytes += encoded->total_encoded_bytes();
+    NIPO_RETURN_NOT_OK(table->ReplaceColumn(std::move(encoded)));
+    ++stats.columns_encoded;
+  }
+  return stats;
+}
+
+}  // namespace nipo

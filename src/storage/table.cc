@@ -46,6 +46,30 @@ Status Table::AddColumn(std::unique_ptr<ColumnBase> column) {
   return Status::OK();
 }
 
+Status Table::ReplaceColumn(std::unique_ptr<ColumnBase> column) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("null column");
+  }
+  auto it = index_.find(column->name());
+  if (it == index_.end()) {
+    return Status::NotFound("no column '" + column->name() + "' in table '" +
+                            name_ + "'");
+  }
+  const ColumnBase& existing = *columns_[it->second];
+  if (column->size() != existing.size()) {
+    return Status::InvalidArgument(
+        "replacement column '" + column->name() + "' has " +
+        std::to_string(column->size()) + " rows, existing has " +
+        std::to_string(existing.size()));
+  }
+  if (column->type() != existing.type()) {
+    return Status::TypeMismatch("replacement column '" + column->name() +
+                                "' changes type");
+  }
+  columns_[it->second] = std::move(column);
+  return Status::OK();
+}
+
 Result<const ColumnBase*> Table::GetColumn(const std::string& column_name) const {
   auto it = index_.find(column_name);
   if (it == index_.end()) {

@@ -70,6 +70,12 @@ class Table {
   /// Mutable column access for in-place transforms (shuffles, sorts).
   Result<ColumnBase*> GetMutableColumn(const std::string& column_name);
 
+  /// Swaps in a replacement for the same-named existing column (used by
+  /// EncodeTableColumns to install encoded forms in place). The
+  /// replacement must match the existing column's name, row count, and
+  /// type.
+  Status ReplaceColumn(std::unique_ptr<ColumnBase> column);
+
   /// Column by position.
   const ColumnBase* column(size_t i) const { return columns_[i].get(); }
 

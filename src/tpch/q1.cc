@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "storage/column_view.h"
+
 /// \file q1.cc
 /// TPC-H Q1 helpers: returnflag/linestatus group-key encoding, the
 /// derived group column, the Q1 aggregate spec and a reference
@@ -17,18 +19,29 @@ std::pair<int32_t, int32_t> Q1DecodeGroup(int64_t group) {
   return {static_cast<int32_t>(group / 2), static_cast<int32_t>(group % 2)};
 }
 
+namespace {
+
+/// Binds a ColumnView over a named column (plain or encoded alike).
+Result<ColumnView> BindView(const Table& table, const std::string& column) {
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* col, table.GetColumn(column));
+  return ColumnView::Bind(col);
+}
+
+}  // namespace
+
 Status AddQ1GroupColumn(Table* lineitem) {
   if (lineitem == nullptr) return Status::InvalidArgument("null table");
   if (lineitem->GetColumn("l_q1group").ok()) {
     return Status::OK();  // already materialized
   }
-  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* flag,
-                        lineitem->GetTypedColumn<int32_t>("l_returnflag"));
-  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* status,
-                        lineitem->GetTypedColumn<int32_t>("l_linestatus"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView flag, BindView(*lineitem, "l_returnflag"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView status,
+                        BindView(*lineitem, "l_linestatus"));
   std::vector<int32_t> group(lineitem->num_rows());
   for (size_t i = 0; i < group.size(); ++i) {
-    group[i] = static_cast<int32_t>(Q1GroupKey((*flag)[i], (*status)[i]));
+    group[i] = static_cast<int32_t>(
+        Q1GroupKey(static_cast<int32_t>(flag.ValueAsInt64(i)),
+                   static_cast<int32_t>(status.ValueAsInt64(i))));
   }
   return lineitem->AddColumn("l_q1group", std::move(group));
 }
@@ -49,16 +62,14 @@ HashAggregateSpec MakeQ1Spec(const Table& lineitem, int32_t delta_days) {
 
 Result<HashAggregateResult> ComputeQ1Reference(const Table& lineitem,
                                                int32_t delta_days) {
-  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* flag,
-                        lineitem.GetTypedColumn<int32_t>("l_returnflag"));
-  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* status,
-                        lineitem.GetTypedColumn<int32_t>("l_linestatus"));
-  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* ship,
-                        lineitem.GetTypedColumn<int32_t>("l_shipdate"));
-  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* quantity,
-                        lineitem.GetTypedColumn<int32_t>("l_quantity"));
-  NIPO_ASSIGN_OR_RETURN(const Column<int64_t>* price,
-                        lineitem.GetTypedColumn<int64_t>("l_extendedprice"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView flag, BindView(lineitem, "l_returnflag"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView status,
+                        BindView(lineitem, "l_linestatus"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView ship, BindView(lineitem, "l_shipdate"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView quantity,
+                        BindView(lineitem, "l_quantity"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView price,
+                        BindView(lineitem, "l_extendedprice"));
   const int32_t cutoff = DateToDayNumber(Date{1998, 12, 1}) - delta_days;
 
   struct State {
@@ -70,12 +81,14 @@ Result<HashAggregateResult> ComputeQ1Reference(const Table& lineitem,
   HashAggregateResult result;
   result.input_rows = lineitem.num_rows();
   for (size_t i = 0; i < lineitem.num_rows(); ++i) {
-    if ((*ship)[i] > cutoff) continue;
+    if (ship.ValueAsInt64(i) > cutoff) continue;
     ++result.passed_filter;
-    State& state = groups[Q1GroupKey((*flag)[i], (*status)[i])];
+    State& state = groups[Q1GroupKey(
+        static_cast<int32_t>(flag.ValueAsInt64(i)),
+        static_cast<int32_t>(status.ValueAsInt64(i)))];
     ++state.count;
-    state.sum_quantity += (*quantity)[i];
-    state.sum_price += (*price)[i];
+    state.sum_quantity += quantity.ValueAsInt64(i);
+    state.sum_price += price.ValueAsInt64(i);
   }
   for (const auto& [group, state] : groups) {
     GroupResult g;

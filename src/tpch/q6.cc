@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/date.h"
+#include "storage/column_view.h"
 
 /// \file q6.cc
 /// TPC-H Q6 operator chains (full and reduced predicate sets, with the
@@ -55,18 +56,11 @@ std::vector<std::string> Q6PayloadColumns() {
 
 namespace {
 
-double GenericAt(const ColumnBase* col, size_t row) {
-  switch (col->type()) {
-    case DataType::kInt32:
-      return static_cast<double>(
-          (*static_cast<const Column<int32_t>*>(col))[row]);
-    case DataType::kInt64:
-      return static_cast<double>(
-          (*static_cast<const Column<int64_t>*>(col))[row]);
-    case DataType::kDouble:
-      return (*static_cast<const Column<double>*>(col))[row];
-  }
-  return 0.0;
+/// Binds a ColumnView over a named column (plain or encoded alike, so
+/// the reference paths keep working after EncodeTableColumns).
+Result<ColumnView> BindView(const Table& table, const std::string& column) {
+  NIPO_ASSIGN_OR_RETURN(const ColumnBase* col, table.GetColumn(column));
+  return ColumnView::Bind(col);
 }
 
 }  // namespace
@@ -75,7 +69,7 @@ Result<Q6Reference> ComputeQ6Reference(const Table& lineitem,
                                        const std::vector<OperatorSpec>& ops) {
   // Resolve columns up front.
   struct Resolved {
-    const ColumnBase* col;
+    ColumnView view;
     CompareOp op;
     double value;
   };
@@ -85,26 +79,26 @@ Result<Q6Reference> ComputeQ6Reference(const Table& lineitem,
       return Status::InvalidArgument(
           "Q6 reference only evaluates predicates");
     }
-    NIPO_ASSIGN_OR_RETURN(const ColumnBase* col,
-                          lineitem.GetColumn(op.predicate.column));
-    preds.push_back(Resolved{col, op.predicate.op, op.predicate.value});
+    NIPO_ASSIGN_OR_RETURN(ColumnView view,
+                          BindView(lineitem, op.predicate.column));
+    preds.push_back(Resolved{view, op.predicate.op, op.predicate.value});
   }
-  NIPO_ASSIGN_OR_RETURN(const ColumnBase* price,
-                        lineitem.GetColumn("l_extendedprice"));
-  NIPO_ASSIGN_OR_RETURN(const ColumnBase* discount,
-                        lineitem.GetColumn("l_discount"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView price,
+                        BindView(lineitem, "l_extendedprice"));
+  NIPO_ASSIGN_OR_RETURN(ColumnView discount,
+                        BindView(lineitem, "l_discount"));
   Q6Reference ref;
   for (size_t row = 0; row < lineitem.num_rows(); ++row) {
     bool pass = true;
     for (const Resolved& p : preds) {
-      if (!EvaluateCompare(GenericAt(p.col, row), p.op, p.value)) {
+      if (!EvaluateCompare(p.view.ValueAsDouble(row), p.op, p.value)) {
         pass = false;
         break;
       }
     }
     if (pass) {
       ++ref.qualifying;
-      ref.revenue += GenericAt(price, row) * GenericAt(discount, row);
+      ref.revenue += price.ValueAsDouble(row) * discount.ValueAsDouble(row);
     }
   }
   return ref;
@@ -116,11 +110,17 @@ Result<int32_t> ValueForSelectivity(const Table& table,
   if (fraction < 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("fraction must be in [0, 1]");
   }
-  NIPO_ASSIGN_OR_RETURN(const Column<int32_t>* col,
-                        table.GetTypedColumn<int32_t>(column));
-  const size_t n = col->size();
+  NIPO_ASSIGN_OR_RETURN(ColumnView view, BindView(table, column));
+  if (view.type() != DataType::kInt32) {
+    return Status::InvalidArgument("ValueForSelectivity needs int32: " +
+                                   column);
+  }
+  const size_t n = view.size();
   if (n == 0) return Status::InvalidArgument("empty column");
-  std::vector<int32_t> sorted(col->values().begin(), col->values().end());
+  std::vector<int32_t> sorted(n);
+  for (size_t row = 0; row < n; ++row) {
+    sorted[row] = static_cast<int32_t>(view.ValueAsInt64(row));
+  }
   std::sort(sorted.begin(), sorted.end());
   if (fraction == 0.0) {
     return sorted.front() - 1;  // selects nothing
@@ -134,12 +134,12 @@ Result<int32_t> ValueForSelectivity(const Table& table,
 Result<double> MeasureSelectivity(const Table& table,
                                   const std::string& column, CompareOp op,
                                   double value) {
-  NIPO_ASSIGN_OR_RETURN(const ColumnBase* col, table.GetColumn(column));
-  const size_t n = col->size();
+  NIPO_ASSIGN_OR_RETURN(ColumnView view, BindView(table, column));
+  const size_t n = view.size();
   if (n == 0) return Status::InvalidArgument("empty column");
   uint64_t pass = 0;
   for (size_t row = 0; row < n; ++row) {
-    if (EvaluateCompare(GenericAt(col, row), op, value)) ++pass;
+    if (EvaluateCompare(view.ValueAsDouble(row), op, value)) ++pass;
   }
   return static_cast<double>(pass) / static_cast<double>(n);
 }
